@@ -1,0 +1,71 @@
+// Command gendt-route builds a constant-interval trajectory CSV from a
+// list of waypoints — the companion to `gendt-gen -route`, letting an
+// operator sketch a virtual drive-test route from a few street corners.
+//
+// Usage:
+//
+//	gendt-route -out route.csv -profile drive lat1,lon1 lat2,lon2 ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"gendt/internal/export"
+	"gendt/internal/geo"
+)
+
+func main() {
+	out := flag.String("out", "route.csv", "output trajectory CSV path")
+	profile := flag.String("profile", "drive", "speed profile: walk, bus, tram, drive, highway")
+	interval := flag.Float64("interval", 1, "sampling interval, seconds")
+	seed := flag.Int64("seed", 1, "speed-variability seed")
+	flag.Parse()
+
+	if flag.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "need at least two lat,lon waypoints")
+		os.Exit(2)
+	}
+	var wps []geo.Point
+	for _, arg := range flag.Args() {
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			fmt.Fprintf(os.Stderr, "bad waypoint %q (want lat,lon)\n", arg)
+			os.Exit(2)
+		}
+		lat, err1 := strconv.ParseFloat(parts[0], 64)
+		lon, err2 := strconv.ParseFloat(parts[1], 64)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "bad waypoint %q\n", arg)
+			os.Exit(2)
+		}
+		wps = append(wps, geo.Point{Lat: lat, Lon: lon})
+	}
+	var prof geo.SpeedProfile
+	switch *profile {
+	case "walk":
+		prof = geo.WalkProfile
+	case "bus":
+		prof = geo.BusProfile
+	case "tram":
+		prof = geo.TramProfile
+	case "drive":
+		prof = geo.CityDriveProfile
+	case "highway":
+		prof = geo.HighwayProfile
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	tr := geo.RouteThrough(wps, prof, *interval, rand.New(rand.NewSource(*seed)))
+	if err := export.WriteTrajectoryCSV(*out, tr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s: %d samples, %.1f km over %.0f s\n",
+		*out, len(tr), tr.Length()/1000, tr.Duration())
+}

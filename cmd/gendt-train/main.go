@@ -1,0 +1,87 @@
+// Command gendt-train trains a GenDT model on a synthesized dataset's
+// training split and saves it to disk.
+//
+// Usage:
+//
+//	gendt-train -out model.json [-dataset A|B] [-scale F] [-seed N]
+//	            [-channels rsrp,rsrq,sinr,cqi] [-epochs N] [-hidden N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gendt/internal/core"
+	"gendt/internal/dataset"
+)
+
+func main() {
+	out := flag.String("out", "gendt-model.json", "output model path")
+	which := flag.String("dataset", "A", "dataset: A or B")
+	scale := flag.Float64("scale", 0.05, "dataset scale")
+	seed := flag.Int64("seed", 1, "random seed")
+	channels := flag.String("channels", "rsrp,rsrq,sinr,cqi", "comma-separated channels (rsrp,rsrq,sinr,cqi,servingrank)")
+	epochs := flag.Int("epochs", 20, "training epochs")
+	hidden := flag.Int("hidden", 32, "hidden dimension")
+	batchLen := flag.Int("batch", 24, "batch (window) length L")
+	stepLen := flag.Int("step", 6, "training window stride Δt")
+	maxCells := flag.Int("maxcells", 10, "visible-cell cap per step")
+	flag.Parse()
+
+	var chans []core.ChannelSpec
+	for _, name := range strings.Split(*channels, ",") {
+		ch, err := core.ChannelByName(canonical(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		chans = append(chans, ch)
+	}
+
+	spec := dataset.Spec{Seed: *seed, Scale: *scale}
+	var d *dataset.Dataset
+	switch strings.ToUpper(*which) {
+	case "A":
+		d = dataset.NewDatasetA(spec)
+	case "B":
+		d = dataset.NewDatasetB(spec)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *which)
+		os.Exit(2)
+	}
+
+	fmt.Printf("dataset %s: %d train runs\n", d.Name, len(d.TrainRuns()))
+	seqs := core.PrepareAll(d.TrainRuns(), chans, *maxCells)
+	m := core.NewModel(core.Config{
+		Channels: chans,
+		Hidden:   *hidden, BatchLen: *batchLen, StepLen: *stepLen,
+		MaxCells: *maxCells, Epochs: *epochs, Seed: *seed,
+	})
+	fmt.Println("training", m.String())
+	res := m.Train(seqs, func(f string, a ...any) { fmt.Printf(f+"\n", a...) })
+	fmt.Printf("trained on %d windows, final mse %.5f\n", res.Windows, res.FinalMSE)
+	if err := m.SaveFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("saved", *out)
+}
+
+func canonical(name string) string {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "rsrp":
+		return "RSRP"
+	case "rsrq":
+		return "RSRQ"
+	case "sinr":
+		return "SINR"
+	case "cqi":
+		return "CQI"
+	case "servingrank", "serving":
+		return "ServingRank"
+	default:
+		return name
+	}
+}

@@ -1,0 +1,98 @@
+// Command gendt-whatif performs the paper's §C.2 what-if analysis from the
+// command line: train GenDT on the existing deployment, then predict the
+// radio-KPI impact of a hypothetical new cell site along an unseen route —
+// before deploying anything — and validate the prediction against the
+// simulated reality.
+//
+// Usage:
+//
+//	gendt-whatif [-dataset A|B] [-scale F] [-seed N] [-epochs N]
+//	             [-sectors N] [-pmax DBM] [-run N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"gendt/internal/core"
+	"gendt/internal/dataset"
+	"gendt/internal/metrics"
+)
+
+func main() {
+	which := flag.String("dataset", "A", "dataset: A or B")
+	scale := flag.Float64("scale", 0.04, "dataset scale")
+	seed := flag.Int64("seed", 3, "random seed")
+	epochs := flag.Int("epochs", 12, "training epochs")
+	sectors := flag.Int("sectors", 3, "sectors of the hypothetical new site")
+	pmax := flag.Float64("pmax", 43, "transmit power of the new site, dBm")
+	runIdx := flag.Int("run", 0, "index into the test runs")
+	flag.Parse()
+
+	spec := dataset.Spec{Seed: *seed, Scale: *scale}
+	var d *dataset.Dataset
+	switch strings.ToUpper(*which) {
+	case "A":
+		d = dataset.NewDatasetA(spec)
+	case "B":
+		d = dataset.NewDatasetB(spec)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *which)
+		os.Exit(2)
+	}
+	chans := []core.ChannelSpec{core.KPIChannel(0)}
+	train := core.PrepareAll(d.TrainRuns(), chans, 10)
+	m := core.NewModel(core.Config{
+		Channels: chans, Hidden: 24, BatchLen: 24, StepLen: 6,
+		MaxCells: 10, Epochs: *epochs, Seed: *seed,
+	})
+	fmt.Println("training", m, "on the existing deployment")
+	m.Train(train, nil)
+
+	tests := d.TestRuns()
+	if *runIdx < 0 || *runIdx >= len(tests) {
+		fmt.Fprintf(os.Stderr, "run index out of range (%d test runs)\n", len(tests))
+		os.Exit(2)
+	}
+	run := tests[*runIdx]
+	seq := core.PrepareSequence(run, chans, 10)
+	base := m.DenormalizeSeries(m.Generate(seq))[0]
+	worst, worstV := 0, base[0]
+	for t, v := range base {
+		if v < worstV {
+			worst, worstV = t, v
+		}
+	}
+	spot := run.Meas[worst].Loc
+	fmt.Printf("weakest predicted RSRP %.1f dBm at (%.5f, %.5f)\n", worstV, spot.Lat, spot.Lon)
+
+	maxID := 0
+	for _, c := range d.World.Deployment.Cells {
+		if c.ID > maxID {
+			maxID = c.ID
+		}
+	}
+	cellsToAdd := dataset.NewSiteAt(spot, maxID+1, *sectors, *pmax)
+	augmented := d.WithExtraCells(cellsToAdd)
+	augMeas := augmented.DriveTest(run.Traj, rand.New(rand.NewSource(*seed+99)))
+	augRun := dataset.Run{Scenario: run.Scenario, Traj: run.Traj, Meas: augMeas}
+	augSeq := core.PrepareSequence(augRun, chans, 10)
+	what := m.DenormalizeSeries(m.Generate(augSeq))[0]
+
+	fmt.Printf("\npredicted route-mean RSRP: %.1f -> %.1f dBm\n",
+		metrics.Mean(base), metrics.Mean(what))
+	realBase := make([]float64, len(run.Meas))
+	realAug := make([]float64, len(augMeas))
+	for i := range run.Meas {
+		realBase[i] = run.Meas[i].RSRP
+		realAug[i] = augMeas[i].RSRP
+	}
+	fmt.Printf("simulated  route-mean RSRP: %.1f -> %.1f dBm\n",
+		metrics.Mean(realBase), metrics.Mean(realAug))
+	predGain := metrics.Mean(what) - metrics.Mean(base)
+	realGain := metrics.Mean(realAug) - metrics.Mean(realBase)
+	fmt.Printf("\npredicted gain %.1f dB vs simulated gain %.1f dB\n", predGain, realGain)
+}

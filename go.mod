@@ -1,0 +1,3 @@
+module gendt
+
+go 1.22

@@ -1,0 +1,127 @@
+// Package active implements the paper's §6.2.2 measurement-efficiency
+// experiment: an active-learning loop that, starting from one training
+// subset, repeatedly trains GenDT and adds the remaining subset on which
+// the model's §6.2.1 uncertainty measure is highest — compared against
+// adding subsets uniformly at random. The paper finds the uncertainty
+// policy reaches peak fidelity with ~10% of the data (90% measurement
+// efficiency) while random selection needs ~20%.
+package active
+
+import (
+	"math/rand"
+
+	"gendt/internal/core"
+	"gendt/internal/metrics"
+)
+
+// Step records one round of the selection loop.
+type Step struct {
+	SubsetsUsed int
+	FracUsed    float64 // fraction of available subsets in the training set
+	MAE         float64
+	DTW         float64
+	HWD         float64
+}
+
+// Policy selects which remaining subset to add next.
+type Policy int
+
+// Selection policies.
+const (
+	Uncertainty Policy = iota // pick the subset with highest model uncertainty
+	Random                    // pick uniformly at random
+)
+
+// Config parameterizes a selection run.
+type Config struct {
+	Model   core.Config // model configuration (retrained from scratch each step)
+	Steps   int         // number of subsets to add (rounds)
+	MCK     int         // MC-dropout passes for the uncertainty measure
+	Seed    int64
+	Channel int // evaluated channel index within Model.Channels
+}
+
+// Run executes the selection loop. subsets are the candidate training
+// subsets (each a slice of prepared sequences); eval is the held-out
+// evaluation sequence (the paper's long trajectory S_L). The loop starts
+// from subsets[start] and performs cfg.Steps additions, returning the
+// fidelity trajectory.
+func Run(policy Policy, subsets [][]*core.Sequence, eval *core.Sequence, start int, cfg Config) []Step {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	selected := map[int]bool{start: true}
+	var out []Step
+
+	evalModel := func() (*core.Model, Step) {
+		var train []*core.Sequence
+		for i := range subsets {
+			if selected[i] {
+				train = append(train, subsets[i]...)
+			}
+		}
+		mc := cfg.Model
+		mc.Seed = cfg.Seed + int64(len(selected))
+		m := core.NewModel(mc)
+		m.Train(train, nil)
+		gen := m.Generate(eval)
+		ch := cfg.Channel
+		spec := mc.Channels[ch]
+		genP := make([]float64, len(gen))
+		realP := make([]float64, eval.Len())
+		for t := range gen {
+			genP[t] = spec.Denormalize(gen[t][ch])
+			realP[t] = spec.Denormalize(eval.KPIs[t][ch])
+		}
+		mae, _ := metrics.MAE(realP, genP)
+		dtw, _ := metrics.DTW(realP, genP, 50)
+		hwd, _ := metrics.HWD(realP, genP, 40)
+		return m, Step{
+			SubsetsUsed: len(selected),
+			FracUsed:    float64(len(selected)) / float64(len(subsets)),
+			MAE:         mae, DTW: dtw, HWD: hwd,
+		}
+	}
+
+	m, st := evalModel()
+	out = append(out, st)
+	for round := 0; round < cfg.Steps && len(selected) < len(subsets); round++ {
+		next := -1
+		switch policy {
+		case Uncertainty:
+			// Evaluate model uncertainty on each remaining subset and take
+			// the most uncertain one — the most informative data to
+			// measure next.
+			best := -1.0
+			for i := range subsets {
+				if selected[i] || len(subsets[i]) == 0 {
+					continue
+				}
+				u := 0.0
+				for _, s := range subsets[i] {
+					u += m.ModelUncertainty(s, cfg.MCK)
+				}
+				u /= float64(len(subsets[i]))
+				if u > best {
+					best = u
+					next = i
+				}
+			}
+		case Random:
+			var remaining []int
+			for i := range subsets {
+				if !selected[i] {
+					remaining = append(remaining, i)
+				}
+			}
+			if len(remaining) > 0 {
+				next = remaining[rng.Intn(len(remaining))]
+			}
+		}
+		if next < 0 {
+			break
+		}
+		selected[next] = true
+		m, st = evalModel()
+		out = append(out, st)
+	}
+	return out
+}

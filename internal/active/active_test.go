@@ -1,0 +1,84 @@
+package active
+
+import (
+	"math"
+	"testing"
+
+	"gendt/internal/core"
+	"gendt/internal/dataset"
+	"gendt/internal/radio"
+)
+
+func setup(t *testing.T) (subsets [][]*core.Sequence, eval *core.Sequence, cfg Config) {
+	t.Helper()
+	spec := dataset.Spec{Seed: 61, Scale: 0.02}
+	d := dataset.NewDatasetA(spec)
+	chans := []core.ChannelSpec{core.KPIChannel(radio.KPIRSRP)}
+	parts := dataset.Partition(d.TrainRuns(), 4)
+	for _, p := range parts {
+		subsets = append(subsets, core.PrepareAll(p, chans, 6))
+	}
+	eval = core.PrepareSequence(d.TestRuns()[0], chans, 6)
+	cfg = Config{
+		Model: core.Config{
+			Channels: chans,
+			Hidden:   8, BatchLen: 10, StepLen: 5, MaxCells: 6,
+			Epochs: 2, Seed: 3,
+		},
+		Steps: 2, MCK: 2, Seed: 7,
+	}
+	return subsets, eval, cfg
+}
+
+func TestRunUncertaintyProducesSteps(t *testing.T) {
+	subsets, eval, cfg := setup(t)
+	steps := Run(Uncertainty, subsets, eval, 0, cfg)
+	if len(steps) != cfg.Steps+1 {
+		t.Fatalf("got %d steps, want %d", len(steps), cfg.Steps+1)
+	}
+	for i, s := range steps {
+		if s.SubsetsUsed != i+1 {
+			t.Errorf("step %d uses %d subsets", i, s.SubsetsUsed)
+		}
+		if s.FracUsed <= 0 || s.FracUsed > 1 {
+			t.Errorf("step %d frac %v", i, s.FracUsed)
+		}
+		if math.IsNaN(s.MAE) || math.IsNaN(s.DTW) || math.IsNaN(s.HWD) {
+			t.Errorf("step %d has NaN metrics", i)
+		}
+		if s.MAE < 0 || s.DTW < 0 || s.HWD < 0 {
+			t.Errorf("step %d has negative metrics", i)
+		}
+	}
+}
+
+func TestRunRandomProducesSteps(t *testing.T) {
+	subsets, eval, cfg := setup(t)
+	steps := Run(Random, subsets, eval, 0, cfg)
+	if len(steps) != cfg.Steps+1 {
+		t.Fatalf("got %d steps, want %d", len(steps), cfg.Steps+1)
+	}
+}
+
+func TestRunStopsWhenSubsetsExhausted(t *testing.T) {
+	subsets, eval, cfg := setup(t)
+	cfg.Steps = 99
+	steps := Run(Random, subsets, eval, 0, cfg)
+	if len(steps) != len(subsets) {
+		t.Fatalf("got %d steps for %d subsets", len(steps), len(subsets))
+	}
+	if last := steps[len(steps)-1]; last.FracUsed != 1 {
+		t.Errorf("final frac = %v, want 1", last.FracUsed)
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	subsets, eval, cfg := setup(t)
+	a := Run(Random, subsets, eval, 0, cfg)
+	b := Run(Random, subsets, eval, 0, cfg)
+	for i := range a {
+		if a[i].MAE != b[i].MAE || a[i].SubsetsUsed != b[i].SubsetsUsed {
+			t.Fatalf("same-seed runs diverged at step %d", i)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package baselines implements the comparison methods of the paper's §5.2:
+// FDaS (fit-distribution-and-sample), an MLP regressor, the LSTM-GNN
+// prediction model, and DoppelGANger in both its original form (generated
+// context) and the optimized real-context variant. All baselines share the
+// Generator interface and operate on the same prepared sequences as GenDT,
+// producing normalized [T][Nch] series.
+package baselines
+
+import (
+	"math/rand"
+	"sort"
+
+	"gendt/internal/core"
+	"gendt/internal/env"
+)
+
+// Generator is the common train/generate contract shared by GenDT and the
+// baselines in the experiment harnesses.
+type Generator interface {
+	Name() string
+	// Fit trains the method on the prepared training sequences.
+	Fit(seqs []*core.Sequence)
+	// Generate synthesizes a normalized KPI series for an unseen sequence.
+	Generate(seq *core.Sequence) [][]float64
+}
+
+// summaryCells is the number of nearest cells flattened into the fixed-size
+// context vector used by the MLP and DG baselines (which, unlike GenDT's
+// GNN, cannot consume a variable-size cell set — one of the limitations the
+// paper calls out).
+const summaryCells = 3
+
+// summaryDim is the fixed context dimensionality for those baselines.
+const summaryDim = summaryCells*core.NumCellAttrs + env.NumAttributes
+
+// contextSummary flattens a step's context into a fixed-size vector:
+// raw attributes of the nearest summaryCells cells (zero-padded) plus the
+// environment context. Baselines consume the paper's raw context
+// attributes; the physics-aligned encoding (log-distance, bearing cosine)
+// is part of GenDT's customized data processing (§4.2) and stays with
+// GenDT.
+func contextSummary(seq *core.Sequence, t int) []float64 {
+	out := make([]float64, 0, summaryDim)
+	n := len(seq.Cells[t]) // respects the sequence's maxCells cap
+	for i := 0; i < summaryCells; i++ {
+		if i < n {
+			out = append(out, core.RawCellAttrs(&seq.Raw[t], i)...)
+		} else {
+			out = append(out, make([]float64, core.NumCellAttrs)...)
+		}
+	}
+	out = append(out, seq.Env[t]...)
+	return out
+}
+
+// rawCellSet returns the raw attribute vectors for every capped visible
+// cell at step t (used by the LSTM-GNN baseline's node encoder).
+func rawCellSet(seq *core.Sequence, t int) [][]float64 {
+	n := len(seq.Cells[t])
+	out := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = core.RawCellAttrs(&seq.Raw[t], i)
+	}
+	return out
+}
+
+// FDaS fits the empirical distribution of each KPI channel on the training
+// data (ignoring time and context entirely) and samples i.i.d. from it —
+// strong on HWD when train and test distributions agree, hopeless on
+// MAE/DTW (paper §5.2).
+type FDaS struct {
+	nch    int
+	sorted [][]float64 // per-channel sorted training values
+	rng    *rand.Rand
+}
+
+// NewFDaS returns an FDaS baseline for nch channels.
+func NewFDaS(nch int, seed int64) *FDaS {
+	return &FDaS{nch: nch, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Generator.
+func (f *FDaS) Name() string { return "FDaS" }
+
+// Fit implements Generator: record the empirical per-channel distribution.
+func (f *FDaS) Fit(seqs []*core.Sequence) {
+	f.sorted = make([][]float64, f.nch)
+	for _, s := range seqs {
+		for t := 0; t < s.Len(); t++ {
+			for c := 0; c < f.nch; c++ {
+				f.sorted[c] = append(f.sorted[c], s.KPIs[t][c])
+			}
+		}
+	}
+	for c := range f.sorted {
+		sort.Float64s(f.sorted[c])
+	}
+}
+
+// Generate implements Generator: inverse-CDF sampling per step.
+func (f *FDaS) Generate(seq *core.Sequence) [][]float64 {
+	T := seq.Len()
+	out := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		row := make([]float64, f.nch)
+		for c := 0; c < f.nch; c++ {
+			vals := f.sorted[c]
+			if len(vals) == 0 {
+				continue
+			}
+			row[c] = vals[f.rng.Intn(len(vals))]
+		}
+		out[t] = row
+	}
+	return out
+}

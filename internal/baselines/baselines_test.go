@@ -1,0 +1,216 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"gendt/internal/core"
+	"gendt/internal/dataset"
+	"gendt/internal/metrics"
+	"gendt/internal/radio"
+)
+
+var tinyData = dataset.Spec{Seed: 41, Scale: 0.02}
+
+func prepared(t *testing.T) (train, test []*core.Sequence) {
+	t.Helper()
+	d := dataset.NewDatasetA(tinyData)
+	chans := core.RSRPRSRQChannels()
+	return core.PrepareAll(d.TrainRuns(), chans, 6), core.PrepareAll(d.TestRuns(), chans, 6)
+}
+
+func flat(series [][]float64, c int) []float64 {
+	out := make([]float64, len(series))
+	for i := range series {
+		out[i] = series[i][c]
+	}
+	return out
+}
+
+func checkGenerator(t *testing.T, g Generator, train, test []*core.Sequence) {
+	t.Helper()
+	g.Fit(train)
+	for _, seq := range test {
+		out := g.Generate(seq)
+		if len(out) != seq.Len() {
+			t.Fatalf("%s: generated %d steps for %d-sample sequence", g.Name(), len(out), seq.Len())
+		}
+		for ti, row := range out {
+			if len(row) != 2 {
+				t.Fatalf("%s: row %d has %d channels", g.Name(), ti, len(row))
+			}
+			for _, v := range row {
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					t.Fatalf("%s: value %v out of [0,1]", g.Name(), v)
+				}
+			}
+		}
+	}
+}
+
+func TestFDaSInterface(t *testing.T) {
+	train, test := prepared(t)
+	checkGenerator(t, NewFDaS(2, 1), train, test)
+}
+
+func TestFDaSMatchesTrainDistribution(t *testing.T) {
+	train, test := prepared(t)
+	f := NewFDaS(2, 2)
+	f.Fit(train)
+	var trainVals []float64
+	for _, s := range train {
+		trainVals = append(trainVals, flat(s.KPIs, 0)...)
+	}
+	gen := flat(f.Generate(test[0]), 0)
+	hwd, err := metrics.HWD(trainVals, gen, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FDaS by construction reproduces the training distribution.
+	if hwd > 0.05 {
+		t.Errorf("FDaS HWD vs train distribution = %v, want near 0", hwd)
+	}
+}
+
+func TestFDaSIgnoresTemporalStructure(t *testing.T) {
+	train, test := prepared(t)
+	f := NewFDaS(2, 3)
+	f.Fit(train)
+	gen := flat(f.Generate(test[0]), 0)
+	// i.i.d. samples: first-order autocorrelation near zero, unlike real
+	// RSRP series which are strongly autocorrelated.
+	if ac := autocorr(gen); math.Abs(ac) > 0.2 {
+		t.Errorf("FDaS output autocorrelation = %v, want ~0", ac)
+	}
+	real := flat(test[0].KPIs, 0)
+	if ac := autocorr(real); ac < 0.5 {
+		t.Errorf("real series autocorrelation = %v, expected strong", ac)
+	}
+}
+
+func autocorr(xs []float64) float64 {
+	m := metrics.Mean(xs)
+	var num, den float64
+	for i := 1; i < len(xs); i++ {
+		num += (xs[i] - m) * (xs[i-1] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func TestMLPInterfaceAndLearning(t *testing.T) {
+	train, test := prepared(t)
+	m := NewMLP(2, 16, 4, 2e-3, 4)
+	checkGenerator(t, m, train, test)
+	// MLP should beat FDaS on MAE for in-distribution data (it at least
+	// uses context), evaluated on a training sequence.
+	f := NewFDaS(2, 5)
+	f.Fit(train)
+	real := flat(train[0].KPIs, 0)
+	mlpOut := flat(m.Generate(train[0]), 0)
+	fdasOut := flat(f.Generate(train[0]), 0)
+	maeM, _ := metrics.MAE(real, mlpOut)
+	maeF, _ := metrics.MAE(real, fdasOut)
+	if maeM >= maeF {
+		t.Errorf("MLP train MAE %v not better than FDaS %v", maeM, maeF)
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	train, test := prepared(t)
+	m := NewMLP(2, 8, 2, 2e-3, 6)
+	m.Fit(train)
+	a := m.Generate(test[0])
+	b := m.Generate(test[0])
+	for i := range a {
+		for c := range a[i] {
+			if a[i][c] != b[i][c] {
+				t.Fatal("MLP baseline should be deterministic")
+			}
+		}
+	}
+}
+
+func TestLSTMGNNInterface(t *testing.T) {
+	train, test := prepared(t)
+	g := NewLSTMGNN(2, 10, 2, 3e-3, 7)
+	checkGenerator(t, g, train, test)
+}
+
+func TestLSTMGNNTrainsWithoutNaN(t *testing.T) {
+	train, test := prepared(t)
+	g := NewLSTMGNN(2, 10, 3, 3e-3, 8)
+	g.Fit(train)
+	out := g.Generate(test[0])
+	for _, row := range out {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				t.Fatal("LSTM-GNN produced NaN")
+			}
+		}
+	}
+}
+
+func TestDGVariantsInterface(t *testing.T) {
+	train, test := prepared(t)
+	checkGenerator(t, NewDG(2, 10, 2, false, 9), train, test)
+	checkGenerator(t, NewDG(2, 10, 2, true, 10), train, test)
+}
+
+func TestDGNames(t *testing.T) {
+	if NewDG(2, 8, 1, false, 1).Name() != "Orig. DG" {
+		t.Error("original DG name")
+	}
+	if NewDG(2, 8, 1, true, 1).Name() != "Real Cont. DG" {
+		t.Error("real context DG name")
+	}
+}
+
+func TestRealContextDGBeatsOriginalOnMAE(t *testing.T) {
+	// The paper's headline comparison: conditioning on real context should
+	// track real series better than generated context.
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 43, Scale: 0.03})
+	chans := []core.ChannelSpec{core.KPIChannel(radio.KPIRSRP)}
+	train := core.PrepareAll(d.TrainRuns(), chans, 6)
+	test := core.PrepareAll(d.TestRuns(), chans, 6)
+	orig := NewDG(1, 12, 4, false, 11)
+	realC := NewDG(1, 12, 4, true, 12)
+	orig.Fit(train)
+	realC.Fit(train)
+	var maeO, maeR float64
+	for _, s := range test {
+		real := flat(s.KPIs, 0)
+		o, _ := metrics.MAE(real, flat(orig.Generate(s), 0))
+		r, _ := metrics.MAE(real, flat(realC.Generate(s), 0))
+		maeO += o
+		maeR += r
+	}
+	if maeR >= maeO {
+		t.Errorf("real-context DG MAE %v not better than original DG %v", maeR, maeO)
+	}
+}
+
+func TestGenDTAdapter(t *testing.T) {
+	train, test := prepared(t)
+	g := NewGenDT(core.Config{
+		Channels: core.RSRPRSRQChannels(),
+		Hidden:   10, BatchLen: 12, StepLen: 6, MaxCells: 6, Epochs: 2, Seed: 2,
+	})
+	if g.Name() != "GenDT" {
+		t.Errorf("adapter name = %q", g.Name())
+	}
+	checkGenerator(t, g, train, test)
+}
+
+func TestContextSummaryShape(t *testing.T) {
+	_, test := prepared(t)
+	cs := contextSummary(test[0], 0)
+	if len(cs) != summaryDim {
+		t.Fatalf("context summary dim = %d, want %d", len(cs), summaryDim)
+	}
+}

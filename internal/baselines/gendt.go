@@ -1,0 +1,29 @@
+package baselines
+
+import "gendt/internal/core"
+
+// GenDT adapts a core.Model to the Generator interface so the experiment
+// harnesses can treat it uniformly with the baselines.
+type GenDT struct {
+	Model *core.Model
+	Label string
+}
+
+// NewGenDT wraps a freshly constructed GenDT model.
+func NewGenDT(cfg core.Config) *GenDT {
+	return &GenDT{Model: core.NewModel(cfg), Label: "GenDT"}
+}
+
+// Name implements Generator.
+func (g *GenDT) Name() string {
+	if g.Label != "" {
+		return g.Label
+	}
+	return "GenDT"
+}
+
+// Fit implements Generator.
+func (g *GenDT) Fit(seqs []*core.Sequence) { g.Model.Train(seqs, nil) }
+
+// Generate implements Generator.
+func (g *GenDT) Generate(seq *core.Sequence) [][]float64 { return g.Model.Generate(seq) }

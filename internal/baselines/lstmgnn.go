@@ -1,0 +1,161 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"gendt/internal/core"
+	"gendt/internal/nn"
+)
+
+// LSTMGNN is the GNN-based time-series *prediction* baseline (paper §5.2,
+// after Tong et al.): a GNN-style cell encoder feeding an LSTM trained to
+// predict x_t from the context and the previous KPI values. As a predictor
+// it is teacher-forced on real history during training; when used for
+// generation it must feed back its own outputs, and it has no batching
+// mechanism, no stochastic layers, and no adversarial training — the
+// combination the paper blames for its weak generation fidelity.
+type LSTMGNN struct {
+	nch    int
+	node   *nn.MLP  // per-cell encoder ("GNN node")
+	lstm   *nn.LSTM // temporal model over [mean embedding ++ prev KPIs]
+	out    *nn.Linear
+	opt    *nn.Adam
+	epochs int
+	hidden int
+	rng    *rand.Rand
+}
+
+// NewLSTMGNN builds the LSTM-GNN baseline.
+func NewLSTMGNN(nch, hidden, epochs int, lr float64, seed int64) *LSTMGNN {
+	rng := rand.New(rand.NewSource(seed))
+	return &LSTMGNN{
+		nch:    nch,
+		node:   nn.NewMLP([]int{core.NumCellAttrs, hidden, hidden}, 0.1, rng),
+		lstm:   nn.NewLSTM(hidden+nch, hidden, rng),
+		out:    nn.NewLinear(hidden, nch, rng),
+		opt:    nn.NewAdam(lr),
+		epochs: epochs,
+		hidden: hidden,
+		rng:    rng,
+	}
+}
+
+// Name implements Generator.
+func (l *LSTMGNN) Name() string { return "LSTM-GNN" }
+
+func (l *LSTMGNN) params() []*nn.Param {
+	ps := l.node.Params()
+	ps = append(ps, l.lstm.Params()...)
+	ps = append(ps, l.out.Params()...)
+	return ps
+}
+
+// embed computes the mean cell embedding at step t. It caches node
+// activations; callers must unwind them (training) or clear them
+// (generation).
+func (l *LSTMGNN) embed(seq *core.Sequence, t int) ([]float64, int) {
+	cc := rawCellSet(seq, t)
+	avg := make([]float64, l.hidden)
+	if len(cc) == 0 {
+		return avg, 0
+	}
+	for _, attrs := range cc {
+		h := l.node.Forward(attrs)
+		for j, v := range h {
+			avg[j] += v
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(cc))
+	}
+	return avg, len(cc)
+}
+
+// Fit implements Generator: teacher-forced next-step prediction over
+// full sequences (no batching mechanism).
+func (l *LSTMGNN) Fit(seqs []*core.Sequence) {
+	for e := 0; e < l.epochs; e++ {
+		for _, s := range seqs {
+			T := s.Len()
+			if T < 2 {
+				continue
+			}
+			// Cap BPTT length for tractability; prediction models are
+			// typically trained on truncated BPTT anyway.
+			const maxT = 120
+			start := 0
+			if T > maxT {
+				start = l.rng.Intn(T - maxT)
+				T = start + maxT
+			}
+			l.lstm.ResetState()
+			type stepCache struct {
+				nCells int
+				dOut   []float64
+			}
+			var caches []stepCache
+			var outGrads [][]float64
+			for t := start; t < T; t++ {
+				emb, nCells := l.embed(s, t)
+				var prev []float64
+				if t == start {
+					prev = make([]float64, l.nch)
+				} else {
+					prev = s.KPIs[t-1] // teacher forcing on real history
+				}
+				in := append(append([]float64{}, emb...), prev...)
+				h := l.lstm.Step(in)
+				pred := l.out.Forward(h)
+				_, g := nn.MSELoss(pred, s.KPIs[t])
+				caches = append(caches, stepCache{nCells: nCells})
+				outGrads = append(outGrads, g)
+			}
+			// Backward: output layer per step (reverse), then BPTT, then
+			// node encoder per cell (reverse).
+			n := len(outGrads)
+			dH := make([][]float64, n)
+			for i := n - 1; i >= 0; i-- {
+				dH[i] = l.out.Backward(outGrads[i])
+			}
+			dIn := l.lstm.BackwardSeq(dH)
+			for i := n - 1; i >= 0; i-- {
+				dEmb := dIn[i][:l.hidden]
+				nc := caches[i].nCells
+				for c := nc - 1; c >= 0; c-- {
+					g := make([]float64, l.hidden)
+					for j := range g {
+						g[j] = dEmb[j] / float64(nc)
+					}
+					l.node.Backward(g)
+				}
+			}
+			nn.ClipGrads(l.params(), 5)
+			l.opt.Step(l.params())
+		}
+	}
+}
+
+// Generate implements Generator: closed-loop autoregressive rollout over
+// the whole sequence in one shot.
+func (l *LSTMGNN) Generate(seq *core.Sequence) [][]float64 {
+	T := seq.Len()
+	out := make([][]float64, T)
+	l.lstm.ResetState()
+	prev := make([]float64, l.nch)
+	for t := 0; t < T; t++ {
+		emb, _ := l.embed(seq, t)
+		l.node.ClearCache()
+		in := append(append([]float64{}, emb...), prev...)
+		h := l.lstm.Step(in)
+		pred := l.out.Forward(h)
+		l.out.ClearCache()
+		row := make([]float64, l.nch)
+		for c := 0; c < l.nch; c++ {
+			row[c] = clamp01(pred[c])
+		}
+		out[t] = row
+		prev = row
+	}
+	l.lstm.ClearCache()
+	return out
+}

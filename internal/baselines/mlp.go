@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"gendt/internal/core"
+	"gendt/internal/nn"
+)
+
+// MLP is the pointwise regression baseline (paper §5.2): it infers each
+// KPI independently at each timestep from the context summary alone — no
+// temporal model and no stochasticity, so it misses both the dynamics
+// (poor DTW) and the distribution (poor HWD).
+type MLP struct {
+	nch    int
+	net    *nn.MLP
+	opt    *nn.Adam
+	epochs int
+	rng    *rand.Rand
+}
+
+// NewMLP builds the MLP baseline.
+func NewMLP(nch, hidden, epochs int, lr float64, seed int64) *MLP {
+	rng := rand.New(rand.NewSource(seed))
+	return &MLP{
+		nch:    nch,
+		net:    nn.NewMLP([]int{summaryDim, hidden, hidden, nch}, 0.1, rng),
+		opt:    nn.NewAdam(lr),
+		epochs: epochs,
+		rng:    rng,
+	}
+}
+
+// Name implements Generator.
+func (m *MLP) Name() string { return "MLP" }
+
+// Fit implements Generator: plain supervised regression over all steps.
+func (m *MLP) Fit(seqs []*core.Sequence) {
+	type example struct{ x, y []float64 }
+	var data []example
+	for _, s := range seqs {
+		for t := 0; t < s.Len(); t++ {
+			data = append(data, example{contextSummary(s, t), s.KPIs[t]})
+		}
+	}
+	if len(data) == 0 {
+		return
+	}
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < m.epochs; e++ {
+		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			pred := m.net.Forward(data[i].x)
+			_, g := nn.MSELoss(pred, data[i].y)
+			m.net.Backward(g)
+			m.opt.Step(m.net.Params())
+		}
+	}
+}
+
+// Generate implements Generator: deterministic pointwise inference.
+func (m *MLP) Generate(seq *core.Sequence) [][]float64 {
+	T := seq.Len()
+	out := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		pred := m.net.Forward(contextSummary(seq, t))
+		m.net.ClearCache()
+		row := make([]float64, m.nch)
+		for c := 0; c < m.nch; c++ {
+			row[c] = clamp01(pred[c])
+		}
+		out[t] = row
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,280 @@
+// Package cells models the mobile network deployment side of the GenDT
+// context: cell sites with location, transmit power, and sector orientation,
+// plus deployment generators for the paper's measurement scenarios and a
+// spatial index answering the "visible cells within d_s" query that drives
+// GenDT's dynamic network context (paper §2.3.3, Figure 3).
+package cells
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"gendt/internal/geo"
+)
+
+// Cell is one sector of a cell site — the unit the paper treats as a
+// potential serving cell. Its five context attributes per the paper are
+// [lat, lon, p_max, direction, distance_t]; the first four live here and
+// distance is computed against the device location at query time.
+type Cell struct {
+	ID        int       // globally unique identifier (plays the role of PCI/cell id)
+	Site      geo.Point // true cell site location (drives propagation)
+	PMaxDBm   float64   // maximum transmit power, dBm
+	Azimuth   float64   // boresight direction of the sector, degrees clockwise from north
+	BeamWidth float64   // sector width in degrees (< 180 per the paper's Figure 3 note)
+	Height    float64   // antenna height above ground, metres
+
+	// Reported is the crowdsourced estimate of the site location as a
+	// CellMapper-style database would report it — the position models see
+	// as context. The zero value means "same as Site".
+	Reported geo.Point
+	// ReportedPMaxDBm is the database's estimated transmit power (0 means
+	// same as PMaxDBm).
+	ReportedPMaxDBm float64
+}
+
+// ReportedSite returns the context-visible site estimate.
+func (c *Cell) ReportedSite() geo.Point {
+	if c.Reported == (geo.Point{}) {
+		return c.Site
+	}
+	return c.Reported
+}
+
+// ReportedPower returns the context-visible transmit-power estimate.
+func (c *Cell) ReportedPower() float64 {
+	if c.ReportedPMaxDBm == 0 {
+		return c.PMaxDBm
+	}
+	return c.ReportedPMaxDBm
+}
+
+// String implements fmt.Stringer.
+func (c Cell) String() string {
+	return fmt.Sprintf("cell %d @ %v az=%.0f p=%.1fdBm", c.ID, c.Site, c.Azimuth, c.PMaxDBm)
+}
+
+// Deployment is a set of cells over a region with a spatial index for
+// visibility queries.
+type Deployment struct {
+	Cells []Cell
+
+	proj     *geo.Projection
+	cellSize float64          // grid cell edge, metres
+	grid     map[[2]int][]int // grid coords -> indices into Cells
+}
+
+// NewDeployment indexes the given cells. indexCellSize is the spatial-hash
+// bucket edge in metres; 1000 is a good default for LTE macro deployments.
+func NewDeployment(cells []Cell, origin geo.Point, indexCellSize float64) *Deployment {
+	if indexCellSize <= 0 {
+		indexCellSize = 1000
+	}
+	d := &Deployment{
+		Cells:    cells,
+		proj:     geo.NewProjection(origin),
+		cellSize: indexCellSize,
+		grid:     make(map[[2]int][]int),
+	}
+	for i, c := range cells {
+		k := d.key(c.Site)
+		d.grid[k] = append(d.grid[k], i)
+	}
+	return d
+}
+
+func (d *Deployment) key(p geo.Point) [2]int {
+	x, y := d.proj.ToXY(p)
+	return [2]int{int(math.Floor(x / d.cellSize)), int(math.Floor(y / d.cellSize))}
+}
+
+// VisibleCell pairs a cell with its current distance from the device.
+type VisibleCell struct {
+	Cell     *Cell
+	Distance float64 // metres from device to cell site
+}
+
+// Visible returns all cells within radius ds metres of loc, sorted by
+// ascending distance. This is the paper's set C_cell of potential serving
+// cells around a device location.
+func (d *Deployment) Visible(loc geo.Point, ds float64) []VisibleCell {
+	x, y := d.proj.ToXY(loc)
+	r := int(math.Ceil(ds/d.cellSize)) + 1
+	k0 := d.key(loc)
+	var out []VisibleCell
+	for dx := -r; dx <= r; dx++ {
+		for dy := -r; dy <= r; dy++ {
+			for _, idx := range d.grid[[2]int{k0[0] + dx, k0[1] + dy}] {
+				c := &d.Cells[idx]
+				cx, cy := d.proj.ToXY(c.Site)
+				dist := math.Hypot(cx-x, cy-y)
+				if dist <= ds {
+					out = append(out, VisibleCell{Cell: c, Distance: dist})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Cell.ID < out[j].Cell.ID
+	})
+	return out
+}
+
+// ByID returns the cell with the given id, or nil.
+func (d *Deployment) ByID(id int) *Cell {
+	for i := range d.Cells {
+		if d.Cells[i].ID == id {
+			return &d.Cells[i]
+		}
+	}
+	return nil
+}
+
+// DensityPerKm2 computes the cell density (cells per square kilometre)
+// within radius metres of each trajectory sample, averaged along the
+// trajectory — the quantity plotted in the paper's Figure 4.
+func (d *Deployment) DensityPerKm2(tr geo.Trajectory, radius float64) float64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	area := math.Pi * radius * radius / 1e6 // km^2
+	total := 0.0
+	for _, s := range tr {
+		total += float64(len(d.Visible(s.Point, radius)))
+	}
+	return total / float64(len(tr)) / area
+}
+
+// DeploymentSpec parameterizes a synthetic deployment generator.
+type DeploymentSpec struct {
+	Origin      geo.Point
+	ExtentKm    float64 // square region edge length, km
+	SitesPerKm2 float64 // density of cell *sites* (each site hosts Sectors cells)
+	Sectors     int     // sectors per site (typically 3)
+	PMaxDBm     float64 // nominal sector max transmit power
+	PMaxJitter  float64 // per-sector power jitter, dB
+	Height      float64 // antenna height, m
+	Jitter      float64 // site placement jitter as a fraction of grid pitch
+	FirstID     int     // id of the first generated cell
+	// ReportErrM is the standard deviation (metres) of the crowdsourced
+	// position estimate each generated cell reports as context, and
+	// ReportErrDB the standard deviation of its reported-power error.
+	// Zero means the database is exact.
+	ReportErrM  float64
+	ReportErrDB float64
+}
+
+// Generate synthesizes a sectorized deployment: sites on a jittered grid,
+// each with Sectors cells at evenly spaced azimuths. Densities follow the
+// paper's Figure 4 observation that inner-city areas are much denser than
+// highways.
+func Generate(spec DeploymentSpec, rng *rand.Rand) []Cell {
+	if spec.Sectors <= 0 {
+		spec.Sectors = 3
+	}
+	if spec.PMaxDBm == 0 {
+		spec.PMaxDBm = 43 // typical LTE macro sector
+	}
+	if spec.Height == 0 {
+		spec.Height = 25
+	}
+	areaKm2 := spec.ExtentKm * spec.ExtentKm
+	nSites := int(math.Round(spec.SitesPerKm2 * areaKm2))
+	if nSites < 1 {
+		nSites = 1
+	}
+	// Approximately square grid of sites.
+	cols := int(math.Ceil(math.Sqrt(float64(nSites))))
+	pitch := spec.ExtentKm * 1000 / float64(cols)
+	proj := geo.NewProjection(spec.Origin)
+	half := spec.ExtentKm * 500
+	var out []Cell
+	id := spec.FirstID
+	placed := 0
+	for gy := 0; gy < cols && placed < nSites; gy++ {
+		for gx := 0; gx < cols && placed < nSites; gx++ {
+			x := -half + (float64(gx)+0.5)*pitch + spec.Jitter*pitch*rng.NormFloat64()
+			y := -half + (float64(gy)+0.5)*pitch + spec.Jitter*pitch*rng.NormFloat64()
+			site := proj.FromXY(x, y)
+			base := rng.Float64() * 360
+			reported := site
+			if spec.ReportErrM > 0 {
+				reported = geo.Offset(site, rng.Float64()*360, math.Abs(spec.ReportErrM*rng.NormFloat64()))
+			}
+			for s := 0; s < spec.Sectors; s++ {
+				pmax := spec.PMaxDBm + spec.PMaxJitter*rng.NormFloat64()
+				c := Cell{
+					ID:        id,
+					Site:      site,
+					PMaxDBm:   pmax,
+					Azimuth:   math.Mod(base+float64(s)*360/float64(spec.Sectors), 360),
+					BeamWidth: 120,
+					Height:    spec.Height,
+					Reported:  reported,
+				}
+				if spec.ReportErrDB > 0 {
+					c.ReportedPMaxDBm = pmax + spec.ReportErrDB*rng.NormFloat64()
+				}
+				out = append(out, c)
+				id++
+			}
+			placed++
+		}
+	}
+	return out
+}
+
+// GenerateCorridor places sites along a line (a highway corridor) with the
+// given spacing in metres, starting at start and heading along bearing for
+// lengthKm kilometres. Sites alternate sides of the road.
+func GenerateCorridor(start geo.Point, bearing float64, lengthKm, spacingM float64, pMaxDBm float64, firstID int, rng *rand.Rand) []Cell {
+	var out []Cell
+	id := firstID
+	n := int(lengthKm * 1000 / spacingM)
+	side := 1.0
+	for i := 0; i <= n; i++ {
+		along := geo.Offset(start, bearing, float64(i)*spacingM)
+		lateral := 300 + 200*rng.Float64()
+		site := geo.Offset(along, bearing+90*side, lateral)
+		// Two sectors pointing up and down the corridor.
+		for s := 0; s < 2; s++ {
+			az := bearing
+			if s == 1 {
+				az = bearing + 180
+			}
+			out = append(out, Cell{
+				ID:        id,
+				Site:      site,
+				PMaxDBm:   pMaxDBm + rng.NormFloat64(),
+				Azimuth:   math.Mod(az+360, 360),
+				BeamWidth: 120,
+				Height:    30,
+			})
+			id++
+		}
+		side = -side
+	}
+	return out
+}
+
+// SectorGainDB returns the antenna gain in dB of cell c toward a device at
+// loc, using a standard 3GPP-style parabolic sector pattern with 20 dB
+// front-to-back limit. Devices inside the sector's beam see near-peak gain;
+// devices behind it see heavily attenuated signal, which is what makes
+// serving cells churn along a trajectory (paper Figure 2).
+func SectorGainDB(c *Cell, loc geo.Point) float64 {
+	brg := geo.Bearing(c.Site, loc)
+	diff := math.Mod(brg-c.Azimuth+540, 360) - 180 // [-180, 180)
+	theta3db := c.BeamWidth / 2
+	att := 12 * (diff / theta3db) * (diff / theta3db)
+	if att > 28 {
+		att = 28 // 3GPP-style front-to-back limit A_m
+	}
+	const peakGain = 15 // dBi
+	return peakGain - att
+}

@@ -1,0 +1,203 @@
+package cells
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gendt/internal/geo"
+)
+
+var origin = geo.Point{Lat: 51.5, Lon: 7.46} // Dortmund-ish, matching Dataset B
+
+func testDeployment(t *testing.T, sitesPerKm2 float64) *Deployment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	cs := Generate(DeploymentSpec{
+		Origin: origin, ExtentKm: 10, SitesPerKm2: sitesPerKm2,
+		Sectors: 3, Jitter: 0.2,
+	}, rng)
+	return NewDeployment(cs, origin, 1000)
+}
+
+func TestGenerateCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cs := Generate(DeploymentSpec{Origin: origin, ExtentKm: 5, SitesPerKm2: 2, Sectors: 3}, rng)
+	wantSites := 50 // 2 sites/km2 * 25 km2
+	if got := len(cs) / 3; got != wantSites {
+		t.Errorf("generated %d sites, want %d", got, wantSites)
+	}
+	// IDs unique and sequential from 0.
+	seen := map[int]bool{}
+	for _, c := range cs {
+		if seen[c.ID] {
+			t.Fatalf("duplicate cell ID %d", c.ID)
+		}
+		seen[c.ID] = true
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cs := Generate(DeploymentSpec{Origin: origin, ExtentKm: 2, SitesPerKm2: 1}, rng)
+	for _, c := range cs {
+		if c.PMaxDBm < 30 || c.PMaxDBm > 50 {
+			t.Errorf("default PMax = %v outside plausible macro range", c.PMaxDBm)
+		}
+		if c.Height <= 0 {
+			t.Errorf("default height = %v", c.Height)
+		}
+	}
+}
+
+func TestVisibleSortedAndWithinRadius(t *testing.T) {
+	d := testDeployment(t, 4)
+	vis := d.Visible(origin, 2000)
+	if len(vis) == 0 {
+		t.Fatal("no visible cells at deployment origin")
+	}
+	for i, v := range vis {
+		if v.Distance > 2000 {
+			t.Errorf("cell %d at %v m exceeds radius", v.Cell.ID, v.Distance)
+		}
+		if i > 0 && vis[i-1].Distance > v.Distance {
+			t.Errorf("visible cells not sorted at %d", i)
+		}
+	}
+}
+
+func TestVisibleMatchesBruteForce(t *testing.T) {
+	d := testDeployment(t, 4)
+	pr := geo.NewProjection(origin)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		loc := pr.FromXY((rng.Float64()-0.5)*8000, (rng.Float64()-0.5)*8000)
+		ds := 500 + rng.Float64()*3000
+		want := 0
+		for _, c := range d.Cells {
+			if pr.PlanarDistance(loc, c.Site) <= ds {
+				want++
+			}
+		}
+		if got := len(d.Visible(loc, ds)); got != want {
+			t.Errorf("Visible(%v, %v) = %d cells, brute force = %d", loc, ds, got, want)
+		}
+	}
+}
+
+func TestDensityScalesWithSpec(t *testing.T) {
+	dense := testDeployment(t, 8)
+	sparse := testDeployment(t, 1)
+	tr := geo.Trajectory{{Point: origin, T: 0}}
+	dd := dense.DensityPerKm2(tr, 2000)
+	sd := sparse.DensityPerKm2(tr, 2000)
+	if dd <= sd {
+		t.Errorf("dense deployment density %v not greater than sparse %v", dd, sd)
+	}
+}
+
+func TestByID(t *testing.T) {
+	d := testDeployment(t, 2)
+	c := d.ByID(d.Cells[3].ID)
+	if c == nil || c.ID != d.Cells[3].ID {
+		t.Fatalf("ByID returned %v", c)
+	}
+	if d.ByID(-999) != nil {
+		t.Error("ByID(-999) should be nil")
+	}
+}
+
+func TestSectorGainPeakAtBoresight(t *testing.T) {
+	c := &Cell{Site: origin, Azimuth: 0, BeamWidth: 120}
+	ahead := geo.Offset(origin, 0, 1000)
+	behind := geo.Offset(origin, 180, 1000)
+	edge := geo.Offset(origin, 60, 1000)
+	ga, gb, ge := SectorGainDB(c, ahead), SectorGainDB(c, behind), SectorGainDB(c, edge)
+	if ga <= gb {
+		t.Errorf("boresight gain %v not above back-lobe gain %v", ga, gb)
+	}
+	if math.Abs(ga-ge-12) > 1.0 {
+		t.Errorf("3dB-ish edge: boresight %v, edge %v, want ~12 dB apart", ga, ge)
+	}
+	if ga-gb > 28.5 {
+		t.Errorf("front-to-back ratio %v exceeds 28 dB cap", ga-gb)
+	}
+}
+
+func TestSectorGainBounded(t *testing.T) {
+	c := &Cell{Site: origin, Azimuth: 123, BeamWidth: 120}
+	f := func(brg float64) bool {
+		if math.IsNaN(brg) || math.IsInf(brg, 0) {
+			return true
+		}
+		loc := geo.Offset(origin, math.Mod(math.Abs(brg), 360), 500)
+		g := SectorGainDB(c, loc)
+		return g <= 15 && g >= -13.001 // peak 15 dBi, floor 15-28 dB
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateCorridor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cs := GenerateCorridor(origin, 90, 20, 2000, 46, 100, rng)
+	if len(cs) < 20 {
+		t.Fatalf("corridor produced only %d cells", len(cs))
+	}
+	// All sites should be within ~1km laterally of the corridor line and IDs start at 100.
+	if cs[0].ID != 100 {
+		t.Errorf("first corridor id = %d, want 100", cs[0].ID)
+	}
+	end := geo.Offset(origin, 90, 20000)
+	for _, c := range cs {
+		if geo.Distance(c.Site, origin) > 22000 && geo.Distance(c.Site, end) > 22000 {
+			t.Errorf("corridor cell %d too far from corridor", c.ID)
+		}
+	}
+}
+
+func TestVisibleEmptyFarAway(t *testing.T) {
+	d := testDeployment(t, 2)
+	far := geo.Offset(origin, 0, 100000)
+	if vis := d.Visible(far, 2000); len(vis) != 0 {
+		t.Errorf("expected no visible cells 100 km away, got %d", len(vis))
+	}
+}
+
+func TestReportedDefaultsToTrue(t *testing.T) {
+	c := Cell{ID: 1, Site: origin, PMaxDBm: 43}
+	if c.ReportedSite() != origin {
+		t.Error("zero Reported should fall back to Site")
+	}
+	if c.ReportedPower() != 43 {
+		t.Error("zero ReportedPMaxDBm should fall back to PMaxDBm")
+	}
+}
+
+func TestReportErrProducesOffsetEstimates(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cs := Generate(DeploymentSpec{
+		Origin: origin, ExtentKm: 4, SitesPerKm2: 2, Sectors: 3,
+		ReportErrM: 150, ReportErrDB: 3,
+	}, rng)
+	moved, powerDiff := 0, 0
+	for _, c := range cs {
+		if d := geo.Distance(c.Site, c.ReportedSite()); d > 1 {
+			moved++
+			if d > 1000 {
+				t.Errorf("reported position %v m off, implausibly far", d)
+			}
+		}
+		if c.ReportedPower() != c.PMaxDBm {
+			powerDiff++
+		}
+	}
+	if moved == 0 {
+		t.Error("ReportErrM had no effect")
+	}
+	if powerDiff == 0 {
+		t.Error("ReportErrDB had no effect")
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+// Generate synthesizes the normalized KPI series for a prepared (unseen)
+// trajectory sequence. Generation runs in non-overlapping batches of
+// length L (Δt = L, paper §4.3.3); within a batch the LSTMs capture the
+// short-term temporal correlations, while long-term correlation across
+// batch boundaries is carried by ResGen's autoregressive lags over the
+// generated history — the paper's two-subtask decomposition of long-series
+// generation. The returned series has the sequence's full length and is in
+// normalized [0,1] units; use DenormalizeSeries for physical units.
+func (m *Model) Generate(seq *Sequence) [][]float64 {
+	return m.generate(seq, true)
+}
+
+// GenerateIndependent generates each batch independently (autoregressive
+// lags cleared at every batch boundary, so nothing crosses it) — the
+// "stitching independently generated short trajectories" strawman of the
+// paper's Table 8/Figure 10. batchLen overrides the model's batch length
+// when positive.
+func (m *Model) GenerateIndependent(seq *Sequence, batchLen int) [][]float64 {
+	saved := m.Cfg.BatchLen
+	if batchLen > 0 {
+		m.Cfg.BatchLen = batchLen
+	}
+	out := m.generate(seq, false)
+	m.Cfg.BatchLen = saved
+	return out
+}
+
+func (m *Model) generate(seq *Sequence, carryLags bool) [][]float64 {
+	cfg := m.Cfg
+	nch := len(cfg.Channels)
+	T := seq.Len()
+	m.SetNoise(true)
+	if m.res != nil {
+		// Statistical variation at generation time comes from the noise
+		// inputs and the sampled Gaussian residual; MC dropout stays on as
+		// in training (paper §6.2.1 uses generation-time dropout).
+		m.res.Dropout.Active = true
+	}
+	out := make([][]float64, 0, T)
+	gen := make([][]float64, 0, T) // autoregressive history for lags
+
+	for lo := 0; lo < T; lo += cfg.BatchLen {
+		L := cfg.BatchLen
+		if lo+L > T {
+			L = T - lo
+		}
+		teacher := gen
+		if !carryLags {
+			// Independent batches: no history crosses the boundary.
+			teacher = padHistory(gen, nch)
+		}
+		fc := m.forwardGen(seq, lo, L, teacher)
+		for t := 0; t < L; t++ {
+			out = append(out, fc.out[t])
+			gen = append(gen, fc.out[t])
+		}
+	}
+	return out
+}
+
+// padHistory returns a zeroed history of the same length, so independent
+// batches see no cross-boundary lags.
+func padHistory(gen [][]float64, nch int) [][]float64 {
+	out := make([][]float64, len(gen))
+	for i := range out {
+		out[i] = make([]float64, nch)
+	}
+	return out
+}
+
+// forwardGen mirrors forward but discards backward caches. LSTM state is
+// reset at each batch, matching the training regime (windows always start
+// from zero state).
+func (m *Model) forwardGen(seq *Sequence, lo, L int, teacher [][]float64) *forwardCache {
+	cfg := m.Cfg
+	nch := len(cfg.Channels)
+	fc := &forwardCache{L: L, nch: nch}
+
+	maxSlots := 0
+	for t := 0; t < L; t++ {
+		if n := len(seq.Cells[lo+t]); n > maxSlots {
+			maxSlots = n
+		}
+	}
+	if maxSlots == 0 {
+		maxSlots = 1
+	}
+	hPerStep := make([][][]float64, L)
+	fc.nCells = make([]int, L)
+	for slot := 0; slot < maxSlots; slot++ {
+		m.node.ResetState()
+		for t := 0; t < L; t++ {
+			cellsAtT := seq.Cells[lo+t]
+			var attrs []float64
+			if slot < len(cellsAtT) {
+				attrs = cellsAtT[slot]
+			} else {
+				attrs = make([]float64, cfg.CellDim())
+			}
+			in := make([]float64, 0, cfg.CellDim()+cfg.NoiseDim)
+			in = append(in, attrs...)
+			for z := 0; z < cfg.NoiseDim; z++ {
+				in = append(in, 0.1*m.rng.NormFloat64())
+			}
+			h := m.node.Step(in)
+			if slot < len(cellsAtT) || (len(cellsAtT) == 0 && slot == 0) {
+				hPerStep[t] = append(hPerStep[t], h)
+			}
+		}
+		m.node.ClearCache()
+	}
+
+	fc.hAvg = make([][]float64, L)
+	fc.base = make([][]float64, L)
+	fc.out = make([][]float64, L)
+	m.agg.ResetState()
+	for t := 0; t < L; t++ {
+		avg := make([]float64, cfg.Hidden)
+		n := len(hPerStep[t])
+		fc.nCells[t] = n
+		if n > 0 {
+			for _, h := range hPerStep[t] {
+				for j, v := range h {
+					avg[j] += v
+				}
+			}
+			for j := range avg {
+				avg[j] /= float64(n)
+			}
+		}
+		fc.hAvg[t] = avg
+		ha := m.agg.Step(avg)
+		fc.base[t] = m.aggOut.Forward(ha)
+		out := append([]float64(nil), fc.base[t]...)
+		if m.res != nil {
+			history := make([][]float64, 0, lo+t)
+			history = append(history, teacher...)
+			history = append(history, fc.out[:t]...)
+			lags := BuildLags(history, lo+t, cfg.Lags, nch)
+			ro := m.res.Forward(seq.Env[lo+t], lags)
+			for c := 0; c < nch; c++ {
+				out[c] += ro.Sample[c]
+			}
+			m.res.ClearCache()
+		}
+		for c := range out {
+			out[c] = clamp01(out[c])
+		}
+		fc.out[t] = out
+	}
+	m.agg.ClearCache()
+	m.aggOut.ClearCache()
+	return fc
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// DenormalizeSeries converts a generated normalized [T][nch] series to
+// physical per-channel series, indexed [channel][t].
+func (m *Model) DenormalizeSeries(norm [][]float64) [][]float64 {
+	nch := len(m.Cfg.Channels)
+	out := make([][]float64, nch)
+	for c := 0; c < nch; c++ {
+		out[c] = make([]float64, len(norm))
+		for t := range norm {
+			out[c][t] = m.Cfg.Channels[c].Denormalize(norm[t][c])
+		}
+	}
+	return out
+}
+
+// GenerateN draws n independent generation samples for the sequence and
+// returns them denormalized as [n][channel][t] — the basis for the
+// min/max envelopes of the paper's Figure 9.
+func (m *Model) GenerateN(seq *Sequence, n int) [][][]float64 {
+	out := make([][][]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.DenormalizeSeries(m.Generate(seq))
+	}
+	return out
+}
+
+// Envelope reduces GenerateN samples to per-channel (min, max, mean)
+// series.
+func Envelope(samples [][][]float64) (min, max, mean [][]float64) {
+	if len(samples) == 0 {
+		return nil, nil, nil
+	}
+	nch := len(samples[0])
+	T := len(samples[0][0])
+	min = alloc2(nch, T)
+	max = alloc2(nch, T)
+	mean = alloc2(nch, T)
+	for c := 0; c < nch; c++ {
+		for t := 0; t < T; t++ {
+			lo, hi, sum := samples[0][c][t], samples[0][c][t], 0.0
+			for _, s := range samples {
+				v := s[c][t]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				sum += v
+			}
+			min[c][t], max[c][t], mean[c][t] = lo, hi, sum/float64(len(samples))
+		}
+	}
+	return min, max, mean
+}
+
+func alloc2(a, b int) [][]float64 {
+	out := make([][]float64, a)
+	for i := range out {
+		out[i] = make([]float64, b)
+	}
+	return out
+}

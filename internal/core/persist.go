@@ -1,0 +1,150 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"gendt/internal/nn"
+	"gendt/internal/radio"
+)
+
+// ChannelByName reconstructs a ChannelSpec from its name. Supported names
+// are the four radio KPIs plus "ServingRank". It is used when loading a
+// persisted model, whose channel extractors cannot be serialized.
+func ChannelByName(name string) (ChannelSpec, error) {
+	for i, n := range radio.KPINames {
+		if n == name {
+			return KPIChannel(i), nil
+		}
+	}
+	if name == "ServingRank" {
+		return ServingRankChannel(), nil
+	}
+	return ChannelSpec{}, fmt.Errorf("core: unknown channel %q", name)
+}
+
+// snapshot is the serialized model format.
+type snapshot struct {
+	Version  int         `json:"version"`
+	Channels []string    `json:"channels"`
+	Cfg      cfgSnap     `json:"config"`
+	Params   [][]float64 `json:"params"`
+}
+
+// cfgSnap persists the architecture-relevant config fields.
+type cfgSnap struct {
+	Hidden    int     `json:"hidden"`
+	NoiseDim  int     `json:"noise_dim"`
+	ResNoise  int     `json:"res_noise"`
+	Lags      int     `json:"lags"`
+	BatchLen  int     `json:"batch_len"`
+	StepLen   int     `json:"step_len"`
+	MaxCells  int     `json:"max_cells"`
+	Lambda    float64 `json:"lambda"`
+	AH        float64 `json:"ah"`
+	AC        float64 `json:"ac"`
+	DropoutP  float64 `json:"dropout_p"`
+	LoadAware bool    `json:"load_aware"`
+	NoResGen  bool    `json:"no_resgen"`
+	NoSRNN    bool    `json:"no_srnn"`
+	Seed      int64   `json:"seed"`
+}
+
+// allParams returns generator plus discriminator parameters in a stable
+// order.
+func (m *Model) allParams() []*nn.Param {
+	return append(m.genParams(), m.discParams()...)
+}
+
+// Save writes the model (config + weights) as JSON to w.
+func (m *Model) Save(w io.Writer) error {
+	snap := snapshot{
+		Version: 1,
+		Cfg: cfgSnap{
+			Hidden: m.Cfg.Hidden, NoiseDim: m.Cfg.NoiseDim, ResNoise: m.Cfg.ResNoise,
+			Lags: m.Cfg.Lags, BatchLen: m.Cfg.BatchLen, StepLen: m.Cfg.StepLen,
+			MaxCells: m.Cfg.MaxCells, Lambda: m.Cfg.Lambda,
+			AH: m.Cfg.AH, AC: m.Cfg.AC, DropoutP: m.Cfg.DropoutP,
+			LoadAware: m.Cfg.LoadAware,
+			NoResGen:  m.Cfg.NoResGen, NoSRNN: m.Cfg.NoSRNN, Seed: m.Cfg.Seed,
+		},
+	}
+	for _, ch := range m.Cfg.Channels {
+		snap.Channels = append(snap.Channels, ch.Name)
+	}
+	for _, p := range m.allParams() {
+		snap.Params = append(snap.Params, p.W)
+	}
+	if err := json.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the model to a file.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a model saved with Save, reconstructing the architecture from
+// the embedded config and restoring all weights.
+func Load(r io.Reader) (*Model, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("core: load: unsupported version %d", snap.Version)
+	}
+	var chans []ChannelSpec
+	for _, name := range snap.Channels {
+		ch, err := ChannelByName(name)
+		if err != nil {
+			return nil, err
+		}
+		chans = append(chans, ch)
+	}
+	c := snap.Cfg
+	m := NewModel(Config{
+		Channels: chans,
+		Hidden:   c.Hidden, NoiseDim: c.NoiseDim, ResNoise: c.ResNoise,
+		Lags: c.Lags, BatchLen: c.BatchLen, StepLen: c.StepLen,
+		MaxCells: c.MaxCells, Lambda: c.Lambda,
+		AH: c.AH, AC: c.AC, DropoutP: c.DropoutP,
+		LoadAware: c.LoadAware,
+		NoResGen:  c.NoResGen, NoSRNN: c.NoSRNN, Seed: c.Seed,
+	})
+	params := m.allParams()
+	if len(params) != len(snap.Params) {
+		return nil, fmt.Errorf("core: load: parameter count mismatch (%d vs %d)",
+			len(params), len(snap.Params))
+	}
+	for i, p := range params {
+		if len(p.W) != len(snap.Params[i]) {
+			return nil, fmt.Errorf("core: load: parameter %d size mismatch (%d vs %d)",
+				i, len(p.W), len(snap.Params[i]))
+		}
+		copy(p.W, snap.Params[i])
+	}
+	return m, nil
+}
+
+// LoadFile reads a model from a file.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

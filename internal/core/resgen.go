@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"gendt/internal/env"
+	"gendt/internal/nn"
+)
+
+// ResGen is GenDT's residual generator G^r_θ (paper §4.3.2, Figure 7): a
+// fully connected network conditioned on the environment context, input
+// noise z_1, and the recent KPI values (making it autoregressive), ending
+// in a dropout layer and a Gaussian head that parameterizes the residual
+// distribution N(μ_θ,t, σ_θ,t) per channel. Keeping dropout active at
+// generation time (MC dropout) exposes the variability of [μ_θ, σ_θ] as
+// the model-uncertainty measure of §6.2.1.
+type ResGen struct {
+	nch, lags, noiseDim int
+
+	body    *nn.MLP
+	Dropout *nn.Dropout
+	head    *nn.Linear // 2*nch outputs: per-channel (mu, logSigma)
+
+	rng *rand.Rand
+}
+
+// NewResGen builds a ResGen for the config.
+func NewResGen(cfg Config, rng *rand.Rand) *ResGen {
+	nch := len(cfg.Channels)
+	in := env.NumAttributes + cfg.ResNoise + cfg.Lags*nch
+	hidden := cfg.Hidden
+	r := &ResGen{
+		nch: nch, lags: cfg.Lags, noiseDim: cfg.ResNoise,
+		body: &nn.MLP{Layers: []nn.Layer{
+			nn.NewLinear(in, hidden, rng),
+			nn.NewLeakyReLU(0.1),
+			nn.NewLinear(hidden, hidden, rng),
+			nn.NewLeakyReLU(0.1),
+			nn.NewLinear(hidden, hidden, rng),
+			nn.NewLeakyReLU(0.1),
+		}},
+		Dropout: nn.NewDropout(cfg.DropoutP, rng),
+		head:    nn.NewLinear(hidden, 2*nch, rng),
+		rng:     rng,
+	}
+	// Bias the logSigma outputs low so early training is near-deterministic.
+	for c := 0; c < nch; c++ {
+		r.head.B.W[nch+c] = -2
+	}
+	return r
+}
+
+// ResBound soft-limits the residual magnitude (normalized units): the
+// residual models stochastic variation around the context-driven base
+// series, not the trend itself, and an unbounded autoregressive residual
+// compounds its own errors over long generated series (exposure bias).
+const ResBound = 0.25
+
+// ResOut is one timestep's residual sample with the cached quantities
+// needed to backpropagate through the reparameterization.
+type ResOut struct {
+	Sample   []float64 // residual per channel (soft-bounded)
+	Mu       []float64
+	LogSigma []float64
+	eps      []float64
+	dBound   []float64 // derivative of the soft bound at the raw sample
+}
+
+// Forward computes the residual for one timestep. envCtx is the normalized
+// environment context; lags are the most recent lags*nch KPI values
+// (real during training — teacher forcing — and generated during
+// generation), most recent last; missing history should be zero-padded by
+// the caller.
+func (r *ResGen) Forward(envCtx, lags []float64) *ResOut {
+	in := make([]float64, 0, len(envCtx)+r.noiseDim+len(lags))
+	in = append(in, envCtx...)
+	for i := 0; i < r.noiseDim; i++ {
+		in = append(in, r.rng.NormFloat64())
+	}
+	in = append(in, lags...)
+	h := r.body.Forward(in)
+	h = r.Dropout.Forward(h)
+	out := r.head.Forward(h)
+	ro := &ResOut{
+		Sample:   make([]float64, r.nch),
+		Mu:       make([]float64, r.nch),
+		LogSigma: make([]float64, r.nch),
+		eps:      make([]float64, r.nch),
+		dBound:   make([]float64, r.nch),
+	}
+	for c := 0; c < r.nch; c++ {
+		ro.Mu[c] = out[c]
+		ro.LogSigma[c] = out[r.nch+c]
+		ro.eps[c] = r.rng.NormFloat64()
+		raw := nn.GaussianSample(ro.Mu[c], ro.LogSigma[c], ro.eps[c])
+		th := math.Tanh(raw / ResBound)
+		ro.Sample[c] = ResBound * th
+		ro.dBound[c] = 1 - th*th
+	}
+	return ro
+}
+
+// Backward backpropagates dSample (gradient on the residual sample, one
+// per channel) for the most recent un-consumed Forward call, accumulating
+// parameter gradients. Input gradients (env/noise/lags) are discarded:
+// the lags are treated as constants (teacher forcing detaches them).
+func (r *ResGen) Backward(ro *ResOut, dSample []float64) {
+	dOut := make([]float64, 2*r.nch)
+	for c := 0; c < r.nch; c++ {
+		dRaw := dSample[c] * ro.dBound[c]
+		dMu, dLS := nn.GaussianSampleGrad(dRaw, ro.LogSigma[c], ro.eps[c])
+		dOut[c] = dMu
+		dOut[r.nch+c] = dLS
+	}
+	dh := r.head.Backward(dOut)
+	dh = r.Dropout.Backward(dh)
+	r.body.Backward(dh)
+}
+
+// Params returns the learnable parameters.
+func (r *ResGen) Params() []*nn.Param {
+	ps := r.body.Params()
+	ps = append(ps, r.head.Params()...)
+	return ps
+}
+
+// ClearCache drops cached activations (generation mode).
+func (r *ResGen) ClearCache() {
+	r.body.ClearCache()
+	r.Dropout.ClearCache()
+	r.head.ClearCache()
+}
+
+// BuildLags assembles the lag vector for timestep t from a [T][nch] series,
+// zero-padding before the sequence start.
+func BuildLags(series [][]float64, t, lags, nch int) []float64 {
+	out := make([]float64, lags*nch)
+	for l := 0; l < lags; l++ {
+		src := t - lags + l
+		if src < 0 {
+			continue
+		}
+		copy(out[l*nch:(l+1)*nch], series[src])
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+
+	"gendt/internal/nn"
+)
+
+// window is one training batch: a [lo, lo+L) slice of a sequence.
+type window struct {
+	seq *Sequence
+	lo  int
+}
+
+// windows enumerates training windows of length L with stride Δt over all
+// sequences (the paper's overlapping batches, Figure 8a).
+func (m *Model) windows(seqs []*Sequence) []window {
+	var out []window
+	L, step := m.Cfg.BatchLen, m.Cfg.StepLen
+	for _, s := range seqs {
+		for lo := 0; lo+L <= s.Len(); lo += step {
+			out = append(out, window{seq: s, lo: lo})
+		}
+	}
+	return out
+}
+
+// forwardCache holds everything one generator forward pass over a window
+// produces, for use by the backward pass.
+type forwardCache struct {
+	L, nch  int
+	nCells  []int          // visible-cell count per step
+	nodeSeq []nn.StepCache // per-slot detached node-LSTM caches
+	hAvg    [][]float64    // [L][H] mean node embedding (discriminator context)
+	base    [][]float64    // [L][nch] aggregation output
+	resOuts []*ResOut      // nil when ResGen disabled
+	out     [][]float64    // [L][nch] final generated (normalized)
+}
+
+// forward runs the generator over L steps of seq starting at lo. teacher
+// gives the series used for ResGen lags (the real series during training;
+// the generated history during generation). When train is false the caches
+// needed for backward are still built but can be discarded with clearCaches.
+func (m *Model) forward(seq *Sequence, lo, L int, teacher [][]float64) *forwardCache {
+	cfg := m.Cfg
+	nch := len(cfg.Channels)
+	fc := &forwardCache{L: L, nch: nch}
+
+	// Per-cell GNN-node passes. Each visible cell at this window gets its
+	// own LSTM rollout over the L steps; cells are identified positionally
+	// per step (the visible set varies over time, so we roll the network
+	// over each step's cell list and average — a mean-aggregation GNN).
+	// For tractability the node rollout is per-step: node state is reset
+	// per cell per window, and each cell contributes its embedding at each
+	// step it is visible.
+	//
+	// Implementation: we process "cell slots". Slot i at step t carries the
+	// i-th nearest visible cell. Slot sequences run the shared node LSTM
+	// across the window, which lets the LSTM track how a given nearby cell
+	// evolves (nearest cells keep their slot while dominant).
+	maxSlots := 0
+	for t := 0; t < L; t++ {
+		if n := len(seq.Cells[lo+t]); n > maxSlots {
+			maxSlots = n
+		}
+	}
+	if maxSlots == 0 {
+		maxSlots = 1
+	}
+	hPerStep := make([][][]float64, L) // [t][slot][H]
+	for t := range hPerStep {
+		hPerStep[t] = make([][]float64, 0, maxSlots)
+	}
+	fc.nCells = make([]int, L)
+	for slot := 0; slot < maxSlots; slot++ {
+		m.node.ResetState()
+		for t := 0; t < L; t++ {
+			cellsAtT := seq.Cells[lo+t]
+			var attrs []float64
+			if slot < len(cellsAtT) {
+				attrs = cellsAtT[slot]
+			} else {
+				attrs = make([]float64, cfg.CellDim()) // absent cell: zero attrs
+			}
+			in := make([]float64, 0, cfg.CellDim()+cfg.NoiseDim)
+			in = append(in, attrs...)
+			for z := 0; z < cfg.NoiseDim; z++ {
+				// z0 denoising noise (paper §4.3.1).
+				in = append(in, 0.1*m.rng.NormFloat64())
+			}
+			h := m.node.Step(in)
+			if slot < len(cellsAtT) || (len(cellsAtT) == 0 && slot == 0) {
+				hPerStep[t] = append(hPerStep[t], h)
+			}
+		}
+		fc.nodeSeq = append(fc.nodeSeq, m.node.TakeSteps())
+	}
+
+	// Aggregation: mean of slot embeddings per step -> aggregation LSTM ->
+	// linear head, giving the context-driven base series.
+	fc.hAvg = make([][]float64, L)
+	fc.base = make([][]float64, L)
+	fc.out = make([][]float64, L)
+	m.agg.ResetState()
+	for t := 0; t < L; t++ {
+		avg := make([]float64, cfg.Hidden)
+		n := len(hPerStep[t])
+		fc.nCells[t] = n
+		if n > 0 {
+			for _, h := range hPerStep[t] {
+				for j, v := range h {
+					avg[j] += v
+				}
+			}
+			for j := range avg {
+				avg[j] /= float64(n)
+			}
+		}
+		fc.hAvg[t] = avg
+		ha := m.agg.Step(avg)
+		fc.base[t] = m.aggOut.Forward(ha)
+	}
+
+	// ResGen residual, autoregressive over the teacher series. The lags
+	// are perturbed (noisy teacher forcing) so the learned autoregression
+	// tolerates the generated history it will see at generation time.
+	if m.res != nil {
+		fc.resOuts = make([]*ResOut, L)
+		for t := 0; t < L; t++ {
+			lags := BuildLags(teacher, lo+t, cfg.Lags, nch)
+			if cfg.LagNoise > 0 {
+				for i := range lags {
+					lags[i] += cfg.LagNoise * m.rng.NormFloat64()
+				}
+			}
+			ro := m.res.Forward(seq.Env[lo+t], lags)
+			fc.resOuts[t] = ro
+			out := make([]float64, nch)
+			for c := 0; c < nch; c++ {
+				out[c] = fc.base[t][c] + ro.Sample[c]
+			}
+			fc.out[t] = out
+		}
+	} else {
+		for t := 0; t < L; t++ {
+			fc.out[t] = append([]float64(nil), fc.base[t]...)
+		}
+	}
+	return fc
+}
+
+// backward pushes dOut (gradient on fc.out, [L][nch]) through the
+// generator, accumulating parameter gradients.
+func (m *Model) backward(fc *forwardCache, dOut [][]float64) {
+	cfg := m.Cfg
+	// Residual path (reverse order of Forward calls for cache discipline).
+	if m.res != nil {
+		for t := fc.L - 1; t >= 0; t-- {
+			m.res.Backward(fc.resOuts[t], dOut[t])
+		}
+	}
+	// Base path: linear head -> aggregation LSTM -> node LSTMs.
+	dHa := make([][]float64, fc.L)
+	for t := fc.L - 1; t >= 0; t-- {
+		dHa[t] = m.aggOut.Backward(dOut[t])
+	}
+	dAvg := m.agg.BackwardSeq(dHa)
+	// Distribute the mean-aggregation gradient to each slot.
+	for slot := len(fc.nodeSeq) - 1; slot >= 0; slot-- {
+		dH := make([][]float64, fc.L)
+		for t := 0; t < fc.L; t++ {
+			g := make([]float64, cfg.Hidden)
+			if slot < fc.nCells[t] && fc.nCells[t] > 0 {
+				inv := 1 / float64(fc.nCells[t])
+				for j := range g {
+					g[j] = dAvg[t][j] * inv
+				}
+			}
+			dH[t] = g
+		}
+		m.node.BackwardSteps(fc.nodeSeq[slot], dH)
+	}
+}
+
+// discriminate runs the discriminator over a window, returning the logit.
+// x is the (real or generated) normalized KPI series; hAvg the context
+// embedding per step (detached).
+func (m *Model) discriminate(x, hAvg [][]float64) float64 {
+	m.disc.ResetState()
+	var last []float64
+	for t := range x {
+		in := make([]float64, 0, len(x[t])+len(hAvg[t]))
+		in = append(in, x[t]...)
+		in = append(in, hAvg[t]...)
+		last = m.disc.Step(in)
+	}
+	return m.discOut.Forward(last)[0]
+}
+
+// discBackward backpropagates dLogit through the discriminator's cached
+// pass, returning the gradient on the x-portion of each step input.
+func (m *Model) discBackward(dLogit float64, L, nch int) [][]float64 {
+	dLast := m.discOut.Backward([]float64{dLogit})
+	dH := make([][]float64, L)
+	for t := 0; t < L-1; t++ {
+		dH[t] = make([]float64, m.Cfg.Hidden)
+	}
+	dH[L-1] = dLast
+	dIn := m.disc.BackwardSeq(dH)
+	dx := make([][]float64, L)
+	for t := 0; t < L; t++ {
+		dx[t] = dIn[t][:nch]
+	}
+	return dx
+}
+
+// TrainResult summarizes a training run.
+type TrainResult struct {
+	Windows    int
+	FinalMSE   float64
+	FinalDLoss float64
+}
+
+// Train fits the model on the prepared sequences for Cfg.Epochs passes.
+// Progress can be observed via the optional logf (may be nil).
+func (m *Model) Train(seqs []*Sequence, logf func(format string, args ...any)) TrainResult {
+	cfg := m.Cfg
+	nch := len(cfg.Channels)
+	wins := m.windows(seqs)
+	if len(wins) == 0 {
+		return TrainResult{}
+	}
+	m.SetNoise(true)
+	if m.res != nil {
+		m.res.Dropout.Active = true
+	}
+	var res TrainResult
+	res.Windows = len(wins)
+	order := make([]int, len(wins))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var mseSum, dSum float64
+		for _, wi := range order {
+			w := wins[wi]
+			L := cfg.BatchLen
+			real := w.seq.KPIs
+			fc := m.forward(w.seq, w.lo, L, real)
+
+			// --- Discriminator update (skipped under NoGANLoss). ---
+			if !cfg.NoGANLoss {
+				logitReal := m.discriminate(realWindow(real, w.lo, L), fc.hAvg)
+				lossR, gR := nn.BCEWithLogitsLoss(logitReal, 1)
+				m.discBackward(gR, L, nch)
+				logitFake := m.discriminate(fc.out, fc.hAvg)
+				lossF, gF := nn.BCEWithLogitsLoss(logitFake, 0)
+				m.discBackward(gF, L, nch)
+				nn.ClipGrads(m.discParams(), cfg.ClipNorm)
+				m.discOpt.Step(m.discParams())
+				dSum += lossR + lossF
+			}
+
+			// --- Generator update: L = L_M + λ L_JS. ---
+			dOut := make([][]float64, L)
+			mse := 0.0
+			for t := 0; t < L; t++ {
+				lossT, gT := nn.MSELoss(fc.out[t], real[w.lo+t])
+				mse += lossT
+				// Scale per-step MSE gradient by 1/L for a window mean.
+				for c := range gT {
+					gT[c] /= float64(L)
+				}
+				dOut[t] = gT
+			}
+			mse /= float64(L)
+			mseSum += mse
+			if !cfg.NoGANLoss {
+				// Non-saturating generator loss: maximize log R(x').
+				logitFake := m.discriminate(fc.out, fc.hAvg)
+				_, gAdv := nn.BCEWithLogitsLoss(logitFake, 1)
+				dxAdv := m.discBackward(gAdv, L, nch)
+				// The adversarial pass accumulated discriminator grads we
+				// must not apply.
+				for _, p := range m.discParams() {
+					p.ZeroGrad()
+				}
+				for t := 0; t < L; t++ {
+					for c := 0; c < nch; c++ {
+						dOut[t][c] += cfg.Lambda * dxAdv[t][c] / float64(L)
+					}
+				}
+			}
+			m.backward(fc, dOut)
+			nn.ClipGrads(m.genParams(), cfg.ClipNorm)
+			m.genOpt.Step(m.genParams())
+		}
+		res.FinalMSE = mseSum / float64(len(wins))
+		res.FinalDLoss = dSum / float64(len(wins))
+		if logf != nil {
+			logf("epoch %d/%d: mse=%.5f dloss=%.4f", epoch+1, cfg.Epochs, res.FinalMSE, res.FinalDLoss)
+		}
+	}
+	return res
+}
+
+func realWindow(series [][]float64, lo, L int) [][]float64 {
+	return series[lo : lo+L]
+}
+
+// String describes the model briefly.
+func (m *Model) String() string {
+	return fmt.Sprintf("GenDT(nch=%d, H=%d, L=%d, Δt=%d, λ=%g, params=%d)",
+		len(m.Cfg.Channels), m.Cfg.Hidden, m.Cfg.BatchLen, m.Cfg.StepLen, m.Cfg.Lambda, m.ParamCount())
+}

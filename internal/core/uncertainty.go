@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+
+	"gendt/internal/metrics"
+)
+
+// ModelUncertainty computes the paper's §6.2.1 uncertainty measure
+//
+//	U(G_θ) = (1/T) Σ_t [ std(σ_θ)_t + std(μ_θ)_t ]
+//
+// where the standard deviations are taken over k MC-dropout forward passes
+// of ResGen over the sequence. High U indicates model (reducible)
+// uncertainty — the cue the uncertainty-driven measurement selection of
+// §6.2.2 uses to pick the next training subset. A stable-but-large σ_θ with
+// small U indicates irreducible data uncertainty instead.
+//
+// Models built with NoResGen fall back to the variability of repeated full
+// generations, preserving a usable (if cruder) signal.
+func (m *Model) ModelUncertainty(seq *Sequence, k int) float64 {
+	if k < 2 {
+		k = 2
+	}
+	nch := len(m.Cfg.Channels)
+	T := seq.Len()
+	if T == 0 {
+		return 0
+	}
+	if m.res == nil {
+		return m.fallbackUncertainty(seq, k)
+	}
+	m.res.Dropout.Active = true // MC dropout on during the passes
+
+	// For each pass, generate once (to obtain autoregressive lags from the
+	// model itself) and record ResGen's (mu, sigma) trajectories.
+	mus := make([][][]float64, k)    // [k][T][nch]
+	sigmas := make([][][]float64, k) // [k][T][nch]
+	for i := 0; i < k; i++ {
+		gen := m.Generate(seq)
+		mu := make([][]float64, T)
+		sg := make([][]float64, T)
+		for t := 0; t < T; t++ {
+			lags := BuildLags(gen, t, m.Cfg.Lags, nch)
+			ro := m.res.Forward(seq.Env[t], lags)
+			m.res.ClearCache()
+			mu[t] = ro.Mu
+			sg[t] = make([]float64, nch)
+			for c := 0; c < nch; c++ {
+				sg[t][c] = math.Exp(clampLS(ro.LogSigma[c]))
+			}
+		}
+		mus[i] = mu
+		sigmas[i] = sg
+	}
+	// U = mean over t (and channels) of std across passes.
+	total := 0.0
+	for t := 0; t < T; t++ {
+		for c := 0; c < nch; c++ {
+			mvals := make([]float64, k)
+			svals := make([]float64, k)
+			for i := 0; i < k; i++ {
+				mvals[i] = mus[i][t][c]
+				svals[i] = sigmas[i][t][c]
+			}
+			total += metrics.Std(mvals) + metrics.Std(svals)
+		}
+	}
+	return total / float64(T*nch)
+}
+
+// DataUncertainty reports the mean learned residual sigma over the
+// sequence — the irreducible data-noise estimate (paper §6.2.1).
+func (m *Model) DataUncertainty(seq *Sequence) float64 {
+	if m.res == nil {
+		return 0
+	}
+	nch := len(m.Cfg.Channels)
+	T := seq.Len()
+	if T == 0 {
+		return 0
+	}
+	gen := m.Generate(seq)
+	total := 0.0
+	for t := 0; t < T; t++ {
+		lags := BuildLags(gen, t, m.Cfg.Lags, nch)
+		ro := m.res.Forward(seq.Env[t], lags)
+		m.res.ClearCache()
+		for c := 0; c < nch; c++ {
+			total += math.Exp(clampLS(ro.LogSigma[c]))
+		}
+	}
+	return total / float64(T*nch)
+}
+
+func (m *Model) fallbackUncertainty(seq *Sequence, k int) float64 {
+	nch := len(m.Cfg.Channels)
+	T := seq.Len()
+	gens := make([][][]float64, k)
+	for i := range gens {
+		gens[i] = m.Generate(seq)
+	}
+	total := 0.0
+	for t := 0; t < T; t++ {
+		for c := 0; c < nch; c++ {
+			vals := make([]float64, k)
+			for i := 0; i < k; i++ {
+				vals[i] = gens[i][t][c]
+			}
+			total += metrics.Std(vals)
+		}
+	}
+	return total / float64(T*nch)
+}
+
+func clampLS(ls float64) float64 {
+	if ls < -6 {
+		return -6
+	}
+	if ls > 3 {
+		return 3
+	}
+	return ls
+}

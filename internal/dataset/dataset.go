@@ -1,0 +1,465 @@
+// Package dataset synthesizes the two drive-test measurement datasets the
+// paper evaluates on (§2.3) from the simulator substrate: Dataset A
+// (walk/bus/tram around one city centre at 1 s granularity, à la Nemo
+// Handy) and Dataset B (city driving and highways over a multi-city region
+// at coarser Android-API granularity, à la the CNI Cell Tracker dataset).
+// It also provides the geographically disjoint train/test split, the
+// 23-subset partition used by the measurement-efficiency experiment
+// (§6.2), the long/complex 3-city trajectory (§6.1.3), and the summary
+// statistics of Tables 1–2.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gendt/internal/cells"
+	"gendt/internal/env"
+	"gendt/internal/geo"
+	"gendt/internal/metrics"
+	"gendt/internal/radio"
+	"gendt/internal/sim"
+)
+
+// Scenario names for Dataset A (paper Table 1).
+const (
+	ScenarioWalk = "Walk"
+	ScenarioBus  = "Bus"
+	ScenarioTram = "Tram"
+)
+
+// Scenario names for Dataset B (paper Table 2).
+const (
+	ScenarioCity1    = "City Center 1"
+	ScenarioCity2    = "City Center 2"
+	ScenarioHighway1 = "Highway 1"
+	ScenarioHighway2 = "Highway 2"
+)
+
+// Run is one measurement campaign: a trajectory and its measurements.
+type Run struct {
+	Scenario string
+	Train    bool // member of the training split
+	Traj     geo.Trajectory
+	Meas     []sim.Measurement
+}
+
+// Dataset bundles a simulated world and the measurement runs taken in it.
+type Dataset struct {
+	Name  string
+	World *sim.World
+	Runs  []Run
+}
+
+// Spec controls dataset synthesis.
+type Spec struct {
+	Seed int64
+	// Scale multiplies the per-scenario measurement duration; 1.0
+	// approximates the paper's sample counts (Tables 1-2), smaller values
+	// give proportionally shorter runs for fast tests.
+	Scale float64
+}
+
+func (s Spec) scale() float64 {
+	if s.Scale <= 0 {
+		return 1
+	}
+	return s.Scale
+}
+
+// TrainRuns returns the runs in the training split.
+func (d *Dataset) TrainRuns() []Run { return d.filter(true) }
+
+// TestRuns returns the runs in the held-out testing split.
+func (d *Dataset) TestRuns() []Run { return d.filter(false) }
+
+func (d *Dataset) filter(train bool) []Run {
+	var out []Run
+	for _, r := range d.Runs {
+		if r.Train == train {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ScenarioRuns returns all runs of one scenario.
+func (d *Dataset) ScenarioRuns(name string) []Run {
+	var out []Run
+	for _, r := range d.Runs {
+		if r.Scenario == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Scenarios returns the distinct scenario names in declaration order.
+func (d *Dataset) Scenarios() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range d.Runs {
+		if !seen[r.Scenario] {
+			seen[r.Scenario] = true
+			out = append(out, r.Scenario)
+		}
+	}
+	return out
+}
+
+// originA anchors Dataset A (a UK-like city centre).
+var originA = geo.Point{Lat: 55.9533, Lon: -3.1883}
+
+// originB anchors Dataset B (a German-like multi-city region).
+var originB = geo.Point{Lat: 51.5136, Lon: 7.4653}
+
+// NewDatasetA builds the Dataset A analogue: one city with a dense core,
+// three mobility scenarios (walk, bus, tram) measured at 1 s granularity.
+// Each scenario contributes several runs; runs are split into train/test by
+// geography (train routes in the western half, test routes in the east).
+func NewDatasetA(spec Spec) *Dataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	// Deployment: dense urban core plus suburban ring.
+	cs := cells.Generate(cells.DeploymentSpec{
+		Origin: originA, ExtentKm: 4, SitesPerKm2: 7, Sectors: 3, Jitter: 0.2, PMaxJitter: 4,
+	}, rng)
+	ring := cells.Generate(cells.DeploymentSpec{
+		Origin: originA, ExtentKm: 12, SitesPerKm2: 1.2, Sectors: 3, Jitter: 0.25, PMaxJitter: 4,
+		FirstID: len(cs),
+	}, rng)
+	dep := cells.NewDeployment(append(cs, ring...), originA, 1000)
+	em := env.NewMap(env.MapSpec{
+		Origin: originA, ExtentKm: 14, CoreKm: 1.8, PoIPerKm2: 60, Seed: spec.Seed + 1,
+	})
+	w := sim.DefaultWorld(dep, em)
+	w.VisibleRange = 2000 // inner-city serving cells are close (paper §4.2)
+	w.WorldSeed = spec.Seed
+
+	d := &Dataset{Name: "A", World: w}
+	sc := spec.scale()
+
+	// Per paper Table 1: ~15000 samples per scenario at 1 s.
+	type scen struct {
+		name      string
+		profile   geo.SpeedProfile
+		duration  float64
+		turnEvery float64
+		gridSnap  bool
+	}
+	scens := []scen{
+		{ScenarioWalk, geo.WalkProfile, 15000 * sc, 90, true},
+		{ScenarioBus, geo.BusProfile, 14000 * sc, 75, true},
+		{ScenarioTram, geo.TramProfile, 14000 * sc, 120, false},
+	}
+	// Six runs per scenario: three train runs starting on the western arc
+	// of the core, three test runs on the eastern arc. Spreading the runs
+	// over several bearings keeps the two splits geographically disjoint
+	// (paper §6.1) while giving both splits comparable coverage statistics.
+	const runsPerScenario = 6
+	for si, s := range scens {
+		for ri := 0; ri < runsPerScenario; ri++ {
+			train := ri < runsPerScenario/2
+			var side float64
+			if train {
+				side = 225 + 45*float64(ri) // 225, 270, 315
+			} else {
+				side = 45 + 45*float64(ri-3) // 45, 90, 135
+			}
+			start := geo.Offset(originA, side, 900+400*float64(ri%3))
+			start = geo.Offset(start, float64(si)*37, 300)
+			routeRng := rand.New(rand.NewSource(spec.Seed + int64(100*si+ri)))
+			tr := geo.BuildRoute(geo.RouteSpec{
+				Start: start, Bearing: float64((si*90 + ri*45) % 360),
+				Duration: s.duration / runsPerScenario, Interval: 1,
+				Profile: s.profile, TurnEvery: s.turnEvery,
+				TurnJitter: 45, GridSnap: s.gridSnap,
+			}, routeRng)
+			ms := w.DriveTest(tr, rand.New(rand.NewSource(spec.Seed+int64(1000+100*si+ri))))
+			d.Runs = append(d.Runs, Run{Scenario: s.name, Train: train, Traj: tr, Meas: ms})
+		}
+	}
+	return d
+}
+
+// CityCenters returns the planar anchors of Dataset B's cities: the two
+// scenario cities plus the three long-trajectory cities (unused in
+// training), mirroring the paper's Dortmund-region layout.
+func CityCenters() []geo.Point {
+	return []geo.Point{
+		originB,                         // city 1 (City Center 1 scenario)
+		geo.Offset(originB, 95, 20000),  // city 2 (City Center 2 scenario)
+		geo.Offset(originB, 215, 17000), // city 3 (long trajectory)
+		geo.Offset(originB, 180, 26000), // city 4 (long trajectory)
+		geo.Offset(originB, 140, 21000), // city 5 (long trajectory)
+	}
+}
+
+// NewDatasetB builds the Dataset B analogue: a wide region with five city
+// cores and connecting highway corridors; four measurement scenarios (two
+// city drives, two highways) at the coarser granularities of Table 2. The
+// long/complex trajectory of §6.1.3 is produced by LongComplexRun against
+// the same world.
+func NewDatasetB(spec Spec) *Dataset {
+	rng := rand.New(rand.NewSource(spec.Seed + 7))
+	centers := CityCenters()
+	var all []cells.Cell
+	next := 0
+	// Urban deployments around each city.
+	for i, c := range centers {
+		density := 4.0
+		extent := 6.0
+		if i >= 2 {
+			density = 3.0 // long-trajectory cities slightly sparser
+		}
+		cs := cells.Generate(cells.DeploymentSpec{
+			Origin: c, ExtentKm: extent, SitesPerKm2: density, Sectors: 3,
+			Jitter: 0.25, PMaxJitter: 4, FirstID: next,
+		}, rng)
+		all = append(all, cs...)
+		next += len(cs)
+	}
+	// Sparse rural background over the whole region.
+	bg := cells.Generate(cells.DeploymentSpec{
+		Origin: originB, ExtentKm: 60, SitesPerKm2: 0.12, Sectors: 3,
+		Jitter: 0.3, PMaxJitter: 4, FirstID: next,
+	}, rng)
+	all = append(all, bg...)
+	next += len(bg)
+	// Highway corridors: city1->city2 (Highway 1 scenario) and
+	// city3->city4->city5 (the long-trajectory route).
+	hw1 := cells.GenerateCorridor(originB, geo.Bearing(centers[0], centers[1]), 20, 2500, 46, next, rng)
+	all = append(all, hw1...)
+	next += len(hw1)
+	hw2 := cells.GenerateCorridor(geo.Offset(originB, 0, 8000), 80, 25, 2800, 46, next, rng)
+	all = append(all, hw2...)
+	next += len(hw2)
+	hwLong1 := cells.GenerateCorridor(centers[2], geo.Bearing(centers[2], centers[3]), 12, 2800, 46, next, rng)
+	all = append(all, hwLong1...)
+	next += len(hwLong1)
+	hwLong2 := cells.GenerateCorridor(centers[3], geo.Bearing(centers[3], centers[4]), 12, 2800, 46, next, rng)
+	all = append(all, hwLong2...)
+
+	dep := cells.NewDeployment(all, originB, 1500)
+	var cores []env.Core
+	for _, c := range centers {
+		cores = append(cores, env.Core{Center: c, RadiusKm: 1.8})
+	}
+	em := env.NewMap(env.MapSpec{
+		Origin: originB, ExtentKm: 64, CellM: 400, Cores: cores,
+		PoIPerKm2: 8, Seed: spec.Seed + 8,
+	})
+	w := sim.DefaultWorld(dep, em)
+	w.VisibleRange = 4000 // highways see cells up to ~4 km (paper §4.2)
+	w.WorldSeed = spec.Seed + 50
+
+	d := &Dataset{Name: "B", World: w}
+	sc := spec.scale()
+
+	// Table 2: city scenarios ~2.2e4 samples at ~3.5-3.8 s; highways
+	// ~4e4 samples at ~2.2 s.
+	type scen struct {
+		name     string
+		interval float64
+		duration float64
+	}
+	scens := []scen{
+		{ScenarioCity1, 3.8, 2.1e4 * 3.8 * sc},
+		{ScenarioCity2, 3.5, 2.3e4 * 3.5 * sc},
+		{ScenarioHighway1, 2.1, 3.9e4 * 2.1 * sc},
+		{ScenarioHighway2, 2.3, 4.6e4 * 2.3 * sc},
+	}
+	const runsPerScenario = 6
+	for si, s := range scens {
+		for ri := 0; ri < runsPerScenario; ri++ {
+			train := ri < runsPerScenario/2
+			routeRng := rand.New(rand.NewSource(spec.Seed + int64(500+100*si+ri)))
+			var tr geo.Trajectory
+			dur := s.duration / runsPerScenario
+			switch s.name {
+			case ScenarioCity1, ScenarioCity2:
+				center := centers[0]
+				if s.name == ScenarioCity2 {
+					center = centers[1]
+				}
+				// Train runs on the western arc, test runs on the eastern
+				// arc, at several bearings each.
+				var side float64
+				if train {
+					side = 225 + 45*float64(ri)
+				} else {
+					side = 45 + 45*float64(ri-3)
+				}
+				start := geo.Offset(center, side, 800+300*float64(ri%3))
+				tr = geo.BuildRoute(geo.RouteSpec{
+					Start: start, Bearing: float64((ri * 70) % 360),
+					Duration: dur, Interval: s.interval,
+					Profile: geo.CityDriveProfile, TurnEvery: 45,
+					TurnJitter: 40, GridSnap: true,
+				}, routeRng)
+			case ScenarioHighway1:
+				// Along the city1->city2 corridor; train runs use the first
+				// half, test runs the second half.
+				brg := geo.Bearing(centers[0], centers[1])
+				start := geo.Offset(originB, brg, 2000+1200*float64(ri%3))
+				if !train {
+					start = geo.Offset(originB, brg, 11000+1200*float64(ri%3))
+				}
+				tr = geo.BuildRoute(geo.RouteSpec{
+					Start: start, Bearing: brg,
+					Duration: dur, Interval: s.interval,
+					Profile: geo.HighwayProfile, TurnJitter: 5,
+				}, routeRng)
+			case ScenarioHighway2:
+				start := geo.Offset(originB, 0, 8000)
+				off := 1500 + 1500*float64(ri%3)
+				if !train {
+					off = 13000 + 1500*float64(ri%3)
+				}
+				start = geo.Offset(start, 80, off)
+				tr = geo.BuildRoute(geo.RouteSpec{
+					Start: start, Bearing: 80,
+					Duration: dur, Interval: s.interval,
+					Profile: geo.HighwayProfile, TurnJitter: 5,
+				}, routeRng)
+			}
+			ms := w.DriveTest(tr, rand.New(rand.NewSource(spec.Seed+int64(2000+100*si+ri))))
+			d.Runs = append(d.Runs, Run{Scenario: s.name, Train: train, Traj: tr, Meas: ms})
+		}
+	}
+	return d
+}
+
+// LongComplexRun builds the paper's §6.1.3 test workload against Dataset
+// B's world: a ~2230 s (scaled) trajectory spanning three cities none of
+// which appear in the training runs, alternating inner-city driving with
+// highway stretches. It returns the run (marked as test data).
+func LongComplexRun(d *Dataset, spec Spec) Run {
+	sc := spec.scale()
+	centers := CityCenters()
+	c3, c4, c5 := centers[2], centers[3], centers[4]
+	mk := func(seed int64, start geo.Point, bearing float64, dur float64, prof geo.SpeedProfile, grid bool, turn float64) geo.Trajectory {
+		return geo.BuildRoute(geo.RouteSpec{
+			Start: start, Bearing: bearing, Duration: dur, Interval: 1,
+			Profile: prof, TurnEvery: turn, TurnJitter: 30, GridSnap: grid,
+		}, rand.New(rand.NewSource(spec.Seed+seed)))
+	}
+	cityDur := 400 * sc
+	hwDur := 350 * sc
+	segments := []geo.Trajectory{
+		mk(31, geo.Offset(c3, 10, 500), 120, cityDur, geo.CityDriveProfile, true, 50),
+		mk(32, c3, geo.Bearing(c3, c4), hwDur, geo.HighwayProfile, false, 0),
+		mk(33, geo.Offset(c4, 200, 400), 40, cityDur, geo.CityDriveProfile, true, 50),
+		mk(34, c4, geo.Bearing(c4, c5), hwDur, geo.HighwayProfile, false, 0),
+		mk(35, geo.Offset(c5, 300, 400), 250, cityDur, geo.CityDriveProfile, true, 50),
+	}
+	tr := geo.Concat(1, segments...)
+	ms := d.World.DriveTest(tr, rand.New(rand.NewSource(spec.Seed+99)))
+	return Run{Scenario: "Long", Train: false, Traj: tr, Meas: ms}
+}
+
+// Partition splits the training runs of a dataset into n geographically
+// contiguous, non-overlapping subsets (the 23 subsets of §6.2.2) by slicing
+// each run into n consecutive chunks. Each subset is returned as a list of
+// runs.
+func Partition(runs []Run, n int) [][]Run {
+	out := make([][]Run, n)
+	for _, r := range runs {
+		per := len(r.Meas) / n
+		if per == 0 {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			lo := i * per
+			hi := lo + per
+			if i == n-1 {
+				hi = len(r.Meas)
+			}
+			sub := Run{
+				Scenario: r.Scenario, Train: r.Train,
+				Traj: r.Traj[lo:hi], Meas: r.Meas[lo:hi],
+			}
+			out[i] = append(out[i], sub)
+		}
+	}
+	return out
+}
+
+// Stats summarizes one scenario as the rows of the paper's Tables 1-2.
+type Stats struct {
+	Scenario         string
+	TimeGranularity  float64
+	AvgVelocity      float64
+	AvgServingDwell  float64 // mean seconds between serving-cell changes
+	AvgRSRP, StdRSRP float64
+	ROCRSRP          float64
+	AvgRSRQ, StdRSRQ float64
+	ROCRSRQ          float64
+	Samples          int
+}
+
+// ScenarioStats computes Table 1/2-style statistics for one scenario.
+func (d *Dataset) ScenarioStats(name string) Stats {
+	runs := d.ScenarioRuns(name)
+	st := Stats{Scenario: name}
+	var rsrp, rsrq []float64
+	var gran, vel []float64
+	var dwellTotal float64
+	var dwellCount int
+	for _, r := range runs {
+		st.Samples += len(r.Meas)
+		rsrp = append(rsrp, sim.Series(r.Meas, radio.KPIRSRP)...)
+		rsrq = append(rsrq, sim.Series(r.Meas, radio.KPIRSRQ)...)
+		gran = append(gran, r.Traj.TimeGranularity())
+		vel = append(vel, r.Traj.AvgSpeed())
+		ids := sim.Series(r.Meas, radio.KPIServingCell)
+		times := radio.InterHandoverTimes(ids, r.Traj.TimeGranularity())
+		for _, t := range times {
+			dwellTotal += t
+			dwellCount++
+		}
+	}
+	st.TimeGranularity = metrics.Mean(gran)
+	st.AvgVelocity = metrics.Mean(vel)
+	if dwellCount > 0 {
+		st.AvgServingDwell = dwellTotal / float64(dwellCount)
+	}
+	st.AvgRSRP, st.StdRSRP = metrics.Mean(rsrp), metrics.Std(rsrp)
+	st.AvgRSRQ, st.StdRSRQ = metrics.Mean(rsrq), metrics.Std(rsrq)
+	st.ROCRSRP = metrics.RateOfChange(rsrp)
+	st.ROCRSRQ = metrics.RateOfChange(rsrq)
+	return st
+}
+
+// String renders the stats as one table row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-16s gran=%.1fs v=%.1fm/s dwell=%.1fs RSRP=%.1f±%.1f (ROC %.2f) RSRQ=%.1f±%.1f (ROC %.2f) n=%d",
+		s.Scenario, s.TimeGranularity, s.AvgVelocity, s.AvgServingDwell,
+		s.AvgRSRP, s.StdRSRP, s.ROCRSRP, s.AvgRSRQ, s.StdRSRQ, s.ROCRSRQ, s.Samples)
+}
+
+// WithExtraCells returns a copy of the dataset's world whose deployment
+// additionally contains the given cells — the substrate for the paper's
+// §C.2 what-if analysis (e.g. studying the effect of deploying a new cell
+// before building it). The original world is not modified.
+func (d *Dataset) WithExtraCells(extra []cells.Cell) *sim.World {
+	all := append(append([]cells.Cell{}, d.World.Deployment.Cells...), extra...)
+	w := *d.World
+	w.Deployment = cells.NewDeployment(all, d.World.Env.Origin(), 1000)
+	return &w
+}
+
+// NewSiteAt builds the sectors of a hypothetical new cell site at a
+// location — the input to what-if analyses (§C.2). IDs start at firstID.
+func NewSiteAt(at geo.Point, firstID, sectors int, pMaxDBm float64) []cells.Cell {
+	if sectors < 1 {
+		sectors = 1
+	}
+	out := make([]cells.Cell, 0, sectors)
+	for s := 0; s < sectors; s++ {
+		out = append(out, cells.Cell{
+			ID: firstID + s, Site: at, PMaxDBm: pMaxDBm,
+			Azimuth: float64(s) * 360 / float64(sectors), BeamWidth: 120, Height: 25,
+		})
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package downstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gendt/internal/core"
+	"gendt/internal/dataset"
+	"gendt/internal/metrics"
+	"gendt/internal/radio"
+	"gendt/internal/sim"
+)
+
+func testRuns(t *testing.T) (train, test dataset.Run) {
+	t.Helper()
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 51, Scale: 0.03})
+	return d.TrainRuns()[0], d.TestRuns()[0]
+}
+
+func TestGroundTruthQoEBounds(t *testing.T) {
+	train, _ := testRuns(t)
+	thr, per := GroundTruthQoE(train.Meas, rand.New(rand.NewSource(1)))
+	if len(thr) != len(train.Meas) || len(per) != len(train.Meas) {
+		t.Fatal("length mismatch")
+	}
+	for i := range thr {
+		if thr[i] < 0 || thr[i] > ThroughputMaxMbps {
+			t.Fatalf("throughput %v out of bounds", thr[i])
+		}
+		if per[i] < 0 || per[i] > PERMax {
+			t.Fatalf("PER %v out of bounds", per[i])
+		}
+	}
+}
+
+func TestGroundTruthQoECorrelatesWithSINR(t *testing.T) {
+	train, _ := testRuns(t)
+	thr, per := GroundTruthQoE(train.Meas, rand.New(rand.NewSource(2)))
+	sinr := sim.Series(train.Meas, radio.KPISINR)
+	if corr(sinr, thr) < 0.3 {
+		t.Errorf("throughput-SINR correlation = %v, want positive", corr(sinr, thr))
+	}
+	if corr(sinr, per) > -0.3 {
+		t.Errorf("PER-SINR correlation = %v, want negative", corr(sinr, per))
+	}
+}
+
+func corr(a, b []float64) float64 {
+	ma, mb := metrics.Mean(a), metrics.Mean(b)
+	var num, da, db float64
+	for i := range a {
+		num += (a[i] - ma) * (b[i] - mb)
+		da += (a[i] - ma) * (a[i] - ma)
+		db += (b[i] - mb) * (b[i] - mb)
+	}
+	if da == 0 || db == 0 {
+		return 0
+	}
+	return num / math.Sqrt(da*db)
+}
+
+func TestQoEPredictorLearnsWithKPIs(t *testing.T) {
+	train, test := testRuns(t)
+	thrTr, _ := GroundTruthQoE(train.Meas, rand.New(rand.NewSource(3)))
+	thrTe, _ := GroundTruthQoE(test.Meas, rand.New(rand.NewSource(4)))
+	normTr := normalize(thrTr, ThroughputMaxMbps)
+	normTe := normalize(thrTe, ThroughputMaxMbps)
+
+	with := NewQoEPredictor(true, 16, 20, 5)
+	with.Fit(train.Meas, normTr)
+	without := NewQoEPredictor(false, 16, 20, 6)
+	without.Fit(train.Meas, normTr)
+
+	rsrp := sim.Series(test.Meas, radio.KPIRSRP)
+	rsrq := sim.Series(test.Meas, radio.KPIRSRQ)
+	predWith := with.Predict(test.Meas, rsrp, rsrq)
+	predWithout := without.Predict(test.Meas, rsrp, rsrq)
+
+	maeWith, _ := metrics.MAE(normTe, predWith)
+	maeWithout, _ := metrics.MAE(normTe, predWithout)
+	// Paper Figure 12 / Table 9: dropping RSRP/RSRQ significantly degrades
+	// QoE prediction.
+	if maeWith >= maeWithout {
+		t.Errorf("KPI features did not help: with=%v without=%v", maeWith, maeWithout)
+	}
+}
+
+func TestQoEPredictorOutputsBounded(t *testing.T) {
+	train, test := testRuns(t)
+	thr, _ := GroundTruthQoE(train.Meas, rand.New(rand.NewSource(7)))
+	q := NewQoEPredictor(true, 8, 3, 8)
+	q.Fit(train.Meas, normalize(thr, ThroughputMaxMbps))
+	pred := q.Predict(test.Meas, sim.Series(test.Meas, radio.KPIRSRP), sim.Series(test.Meas, radio.KPIRSRQ))
+	for _, v := range pred {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("prediction %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestSnapServingSeries(t *testing.T) {
+	// A perfect rank channel should snap back to the real serving cells
+	// wherever the serving cell is within the rank cap; pooled over all
+	// runs to damp per-route degeneracies (short runs can dwell on a
+	// beyond-cap cell).
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 51, Scale: 0.03})
+	ch := core.ServingRankChannel()
+	matches, total := 0, 0
+	for _, run := range d.Runs {
+		seq := core.PrepareSequence(run, []core.ChannelSpec{ch}, 8)
+		norm := make([]float64, seq.Len())
+		for t2 := 0; t2 < seq.Len(); t2++ {
+			norm[t2] = ch.Normalize(ch.Extract(&run.Meas[t2]))
+		}
+		ids := SnapServingSeries(seq, norm)
+		for t2 := range ids {
+			if len(run.Meas[t2].Visible) == 0 {
+				continue
+			}
+			total++
+			if ids[t2] == float64(run.Meas[t2].ServingCell) {
+				matches++
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no visible cells")
+	}
+	if frac := float64(matches) / float64(total); frac < 0.85 {
+		t.Errorf("perfect rank snapped to real serving only %.2f of the time", frac)
+	}
+}
+
+func TestSnapServingSeriesClamps(t *testing.T) {
+	_, test := testRuns(t)
+	seq := core.PrepareSequence(test, []core.ChannelSpec{core.ServingRankChannel()}, 8)
+	norm := make([]float64, seq.Len())
+	for i := range norm {
+		norm[i] = 1.5 // out-of-range rank must clamp, not panic
+	}
+	ids := SnapServingSeries(seq, norm)
+	for t2, id := range ids {
+		if len(test.Meas[t2].Visible) > 0 && id < 0 {
+			t.Fatalf("clamped rank produced invalid id at %d", t2)
+		}
+	}
+}
+
+func TestRealServingSeriesAndInterHandover(t *testing.T) {
+	train, _ := testRuns(t)
+	ids := RealServingSeries(train.Meas)
+	if len(ids) != len(train.Meas) {
+		t.Fatal("length mismatch")
+	}
+	times := InterHandoverTimes(ids, 1)
+	for _, v := range times {
+		if v <= 0 {
+			t.Fatalf("non-positive inter-handover time %v", v)
+		}
+	}
+}
+
+func normalize(xs []float64, max float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / max
+	}
+	return out
+}
+
+func TestModeFilterDebounces(t *testing.T) {
+	ids := []float64{1, 1, 1, 9, 1, 1, 2, 2, 2, 2}
+	got := ModeFilter(ids, 5)
+	// The single-sample flicker to 9 must vanish.
+	for _, v := range got[:5] {
+		if v != 1 {
+			t.Fatalf("flicker survived: %v", got)
+		}
+	}
+	// The genuine transition to 2 must survive.
+	if got[len(got)-1] != 2 {
+		t.Fatalf("transition removed: %v", got)
+	}
+}
+
+func TestModeFilterIdentityCases(t *testing.T) {
+	ids := []float64{3, 4, 5}
+	got := ModeFilter(ids, 1)
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatal("window 1 must be identity")
+		}
+	}
+	if out := ModeFilter(nil, 5); len(out) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestDecodeServingSeriesSticky(t *testing.T) {
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 51, Scale: 0.03})
+	run := d.TestRuns()[0]
+	ch := core.ServingRankChannel()
+	seq := core.PrepareSequence(run, []core.ChannelSpec{ch}, 8)
+	// Noisy rank: perfect rank plus alternating one-rank flicker.
+	norm := make([]float64, seq.Len())
+	for t2 := 0; t2 < seq.Len(); t2++ {
+		norm[t2] = ch.Normalize(ch.Extract(&run.Meas[t2]))
+		if t2%2 == 1 {
+			norm[t2] += 1.0 / core.MaxServingRank // one-rank flicker
+		}
+	}
+	decoded := DecodeServingSeries(seq, norm, 3)
+	raw := SnapServingSeries(seq, norm)
+	// Sticky decode must produce far fewer serving changes than the raw
+	// snap under the same flicker.
+	if ch1, ch2 := changes(decoded), changes(raw); ch1 >= ch2 {
+		t.Errorf("sticky decode changes %d not below raw %d", ch1, ch2)
+	}
+}
+
+func changes(ids []float64) int {
+	n := 0
+	for i := 1; i < len(ids); i++ {
+		if ids[i] != ids[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDecodeServingSeriesPerfectRankFollowsHandovers(t *testing.T) {
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 52, Scale: 0.03})
+	run := d.TestRuns()[1]
+	ch := core.ServingRankChannel()
+	seq := core.PrepareSequence(run, []core.ChannelSpec{ch}, 8)
+	norm := make([]float64, seq.Len())
+	for t2 := 0; t2 < seq.Len(); t2++ {
+		norm[t2] = ch.Normalize(ch.Extract(&run.Meas[t2]))
+	}
+	decoded := DecodeServingSeries(seq, norm, 2)
+	realChanges := changes(RealServingSeries(run.Meas))
+	gotChanges := changes(decoded)
+	// Same order of magnitude of serving changes as reality (the decode
+	// lags by TTT but must not flap or freeze).
+	if realChanges > 0 && (gotChanges > 4*realChanges+4) {
+		t.Errorf("decoded changes %d vs real %d — flapping", gotChanges, realChanges)
+	}
+}

@@ -1,0 +1,130 @@
+package downstream
+
+import (
+	"math"
+
+	"gendt/internal/core"
+	"gendt/internal/radio"
+	"gendt/internal/sim"
+)
+
+// (DecodeServingSeries below is the preferred decoder; SnapServingSeries
+// is the raw per-sample snap it builds on.)
+
+// SnapServingSeries converts a generated serving-rank channel (normalized
+// [0,1] values, rank encoding per core.ServingRankChannel) back into a
+// serving-cell-id series by rounding the rank and indexing each step's
+// distance-sorted visible-cell list.
+func SnapServingSeries(seq *core.Sequence, normRank []float64) []float64 {
+	out := make([]float64, len(normRank))
+	for t, v := range normRank {
+		rank := int(math.Round(v * core.MaxServingRank))
+		vis := seq.Raw[t].Visible
+		if len(vis) == 0 {
+			out[t] = -1
+			continue
+		}
+		if rank >= len(vis) {
+			rank = len(vis) - 1
+		}
+		if rank < 0 {
+			rank = 0
+		}
+		out[t] = float64(vis[rank].Cell.ID)
+	}
+	return out
+}
+
+// RealServingSeries extracts the measured serving-cell-id series.
+func RealServingSeries(ms []sim.Measurement) []float64 {
+	return sim.Series(ms, radio.KPIServingCell)
+}
+
+// DecodeServingSeries converts a generated serving-rank channel into a
+// serving-cell-id series with UE-like persistence: the current cell is
+// kept until the rank channel durably (for ttt consecutive samples) points
+// at a different cell — mirroring the time-to-trigger behaviour real
+// handovers have, and making the decode robust to the sampling noise and
+// benign rank reshuffling a generative channel carries.
+func DecodeServingSeries(seq *core.Sequence, normRank []float64, ttt int) []float64 {
+	if ttt < 1 {
+		ttt = 1
+	}
+	out := make([]float64, len(normRank))
+	current := -1.0
+	candidate := -1.0
+	streak := 0
+	for t, v := range normRank {
+		vis := seq.Raw[t].Visible
+		if len(vis) == 0 {
+			out[t] = current
+			continue
+		}
+		rank := int(math.Round(v * core.MaxServingRank))
+		if rank >= len(vis) {
+			rank = len(vis) - 1
+		}
+		if rank < 0 {
+			rank = 0
+		}
+		pointed := float64(vis[rank].Cell.ID)
+		if current < 0 {
+			current = pointed
+		} else if pointed != current {
+			// Only switch when the channel durably points elsewhere AND the
+			// current cell is no longer where the channel points.
+			if pointed == candidate {
+				streak++
+			} else {
+				candidate = pointed
+				streak = 1
+			}
+			if streak >= ttt {
+				current = pointed
+				candidate, streak = -1, 0
+			}
+		} else {
+			candidate, streak = -1, 0
+		}
+		out[t] = current
+	}
+	return out
+}
+
+// ModeFilter debounces a categorical id series with a sliding-window
+// majority vote (window samples, centred): the decoding step for the
+// generated serving-cell channel, which removes single-sample sampling
+// flicker while keeping genuine serving-cell transitions — the categorical
+// analogue of rounding the CQI channel.
+func ModeFilter(ids []float64, window int) []float64 {
+	if window <= 1 || len(ids) == 0 {
+		return append([]float64(nil), ids...)
+	}
+	half := window / 2
+	out := make([]float64, len(ids))
+	for t := range ids {
+		lo, hi := t-half, t+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(ids) {
+			hi = len(ids) - 1
+		}
+		counts := map[float64]int{}
+		best, bestN := ids[t], 0
+		for i := lo; i <= hi; i++ {
+			counts[ids[i]]++
+			if counts[ids[i]] > bestN {
+				best, bestN = ids[i], counts[ids[i]]
+			}
+		}
+		out[t] = best
+	}
+	return out
+}
+
+// InterHandoverTimes is re-exported from radio for convenience: durations
+// between consecutive serving-cell changes, in seconds.
+func InterHandoverTimes(servingIDs []float64, interval float64) []float64 {
+	return radio.InterHandoverTimes(servingIDs, interval)
+}

@@ -1,0 +1,151 @@
+// Package downstream implements the paper's §6.3 use cases: mobile QoE
+// (throughput and packet error rate) prediction from radio KPIs, and
+// handover analysis from a generated serving-cell series. Since the
+// paper's iPerf3 ground truth is unavailable, QoE ground truth is derived
+// from the simulated link physics (a Shannon-style rate model plus a BLER
+// curve) — preserving the property the experiment tests: an ML model can
+// predict QoE from RSRP/RSRQ, so generated KPIs that are faithful yield
+// predictions close to those from real KPIs.
+package downstream
+
+import (
+	"math"
+	"math/rand"
+
+	"gendt/internal/nn"
+	"gendt/internal/radio"
+	"gendt/internal/sim"
+)
+
+// QoE bounds used for normalization.
+const (
+	ThroughputMaxMbps = 75.0 // 10 MHz LTE cap with good SINR
+	PERMax            = 1.0
+)
+
+// GroundTruthQoE derives downlink throughput (Mbps) and packet error rate
+// series from simulated measurements. Throughput follows a truncated
+// Shannon model over the serving link's SINR with a load-dependent resource
+// share; PER follows a logistic BLER curve in SINR. Both carry measurement
+// noise.
+func GroundTruthQoE(ms []sim.Measurement, rng *rand.Rand) (throughputMbps, per []float64) {
+	throughputMbps = make([]float64, len(ms))
+	per = make([]float64, len(ms))
+	for i := range ms {
+		m := &ms[i]
+		sinr := math.Pow(10, m.SINR/10)
+		// Effective bandwidth ~9 MHz with 0.6 implementation efficiency;
+		// the device competes with the serving cell's other traffic.
+		share := 0.35 + 0.4*rng.Float64()
+		thr := 9.0 * 0.6 * math.Log2(1+sinr) * share
+		thr *= 1 + 0.05*rng.NormFloat64()
+		if thr < 0 {
+			thr = 0
+		}
+		if thr > ThroughputMaxMbps {
+			thr = ThroughputMaxMbps
+		}
+		throughputMbps[i] = thr
+		// Logistic BLER: near 0 above ~8 dB SINR, approaching 0.6 at the
+		// very bottom, with residual noise.
+		p := 0.6/(1+math.Exp((m.SINR-2.0)/2.5)) + 0.02 + 0.02*rng.Float64()
+		if p < 0 {
+			p = 0
+		}
+		if p > PERMax {
+			p = PERMax
+		}
+		per[i] = p
+	}
+	return throughputMbps, per
+}
+
+// QoEPredictor is the MLP regression model of the paper's §6.3.1 (after
+// Sliwa & Wietfeld): it predicts a QoE metric from radio KPIs and context
+// features. IncludeRadioKPIs=false reproduces the paper's "RSRP & RSRQ
+// Excluded" ablation row.
+type QoEPredictor struct {
+	IncludeRadioKPIs bool
+
+	net    *nn.MLP
+	opt    *nn.Adam
+	epochs int
+	rng    *rand.Rand
+}
+
+// qoeFeatures builds the predictor input from one measurement step:
+// normalized RSRP/RSRQ (optional) plus coarse context features (serving
+// distance and visible-cell count), mirroring the feature set of [56].
+func (q *QoEPredictor) features(rsrp, rsrq float64, m *sim.Measurement) []float64 {
+	out := make([]float64, 0, 4)
+	if q.IncludeRadioKPIs {
+		out = append(out, radio.Normalize(radio.KPIRSRP, rsrp), radio.Normalize(radio.KPIRSRQ, rsrq))
+	}
+	dist := 0.0
+	if len(m.Visible) > 0 {
+		dist = m.Visible[0].Distance / 4000
+	}
+	out = append(out, dist, float64(len(m.Visible))/16)
+	return out
+}
+
+// NewQoEPredictor builds the predictor. includeRadioKPIs=false drops RSRP
+// and RSRQ from the features.
+func NewQoEPredictor(includeRadioKPIs bool, hidden, epochs int, seed int64) *QoEPredictor {
+	q := &QoEPredictor{IncludeRadioKPIs: includeRadioKPIs, epochs: epochs,
+		rng: rand.New(rand.NewSource(seed))}
+	in := 2
+	if includeRadioKPIs {
+		in = 4
+	}
+	q.net = nn.NewMLP([]int{in, hidden, hidden, 1}, 0.1, q.rng)
+	q.opt = nn.NewAdam(2e-3)
+	return q
+}
+
+// Fit trains on real measurements against a normalized QoE target series
+// (values in [0,1], e.g. throughput/ThroughputMaxMbps).
+func (q *QoEPredictor) Fit(ms []sim.Measurement, target []float64) {
+	type ex struct {
+		x []float64
+		y float64
+	}
+	var data []ex
+	for i := range ms {
+		data = append(data, ex{q.features(ms[i].RSRP, ms[i].RSRQ, &ms[i]), target[i]})
+	}
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	for e := 0; e < q.epochs; e++ {
+		q.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			pred := q.net.Forward(data[i].x)
+			_, g := nn.MSELoss(pred, []float64{data[i].y})
+			q.net.Backward(g)
+			q.opt.Step(q.net.Params())
+		}
+	}
+}
+
+// Predict returns the normalized QoE prediction series for measurements
+// whose RSRP/RSRQ have been replaced by the provided series (pass the real
+// series to predict from real KPIs, or a generator's output to evaluate
+// generated KPIs).
+func (q *QoEPredictor) Predict(ms []sim.Measurement, rsrp, rsrq []float64) []float64 {
+	out := make([]float64, len(ms))
+	for i := range ms {
+		pred := q.net.Forward(q.features(rsrp[i], rsrq[i], &ms[i]))
+		q.net.ClearCache()
+		v := pred[0]
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package downstream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gendt/internal/dataset"
+	"gendt/internal/metrics"
+	"gendt/internal/radio"
+	"gendt/internal/sim"
+)
+
+func TestServingLoadSeriesBounded(t *testing.T) {
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 61, Scale: 0.02})
+	for _, r := range d.Runs[:3] {
+		load := ServingLoadSeries(r.Meas)
+		if len(load) != len(r.Meas) {
+			t.Fatal("length mismatch")
+		}
+		for _, v := range load {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("load %v out of [0,1]", v)
+			}
+		}
+	}
+}
+
+func TestLoadEstimatorLearns(t *testing.T) {
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 62, Scale: 0.03})
+	train := d.TrainRuns()[0]
+	test := d.TestRuns()[0]
+	e := NewLoadEstimator(12, 15, 1)
+	e.Fit(train.Meas, ServingLoadSeries(train.Meas))
+	got := e.Estimate(
+		sim.Series(test.Meas, radio.KPIRSRP),
+		sim.Series(test.Meas, radio.KPIRSRQ),
+		sim.Series(test.Meas, radio.KPISINR))
+	want := ServingLoadSeries(test.Meas)
+	mae, _ := metrics.MAE(want, got)
+	// A mean predictor would score ~ the load std (>= ~0.1); the estimator
+	// should land well within the plausible band.
+	if mae > 0.35 {
+		t.Errorf("load estimation MAE %v implausibly high", mae)
+	}
+	for _, v := range got {
+		if v < 0 || v > 1 {
+			t.Fatalf("estimate %v out of range", v)
+		}
+	}
+}
+
+func TestBandwidthPredictorLearns(t *testing.T) {
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 63, Scale: 0.03})
+	rng := rand.New(rand.NewSource(2))
+	// Pool training data across runs so the target spans a real dynamic
+	// range (a single short run can sit in flat coverage).
+	var trainMeas []sim.Measurement
+	var perTr, thrTr []float64
+	for _, r := range d.TrainRuns() {
+		thr, per := GroundTruthQoE(r.Meas, rng)
+		trainMeas = append(trainMeas, r.Meas...)
+		thrTr = append(thrTr, thr...)
+		perTr = append(perTr, per...)
+	}
+	b := NewBandwidthPredictor(12, 10, 3)
+	b.Fit(trainMeas, perTr, normalize(thrTr, ThroughputMaxMbps))
+
+	var mae, maeConst float64
+	for _, test := range d.TestRuns() {
+		thrTe, perTe := GroundTruthQoE(test.Meas, rng)
+		pred := b.Predict(
+			sim.Series(test.Meas, radio.KPIRSRP),
+			sim.Series(test.Meas, radio.KPIRSRQ),
+			sim.Series(test.Meas, radio.KPICQI),
+			sim.Series(test.Meas, radio.KPIServingCell),
+			perTe)
+		want := normalize(thrTe, ThroughputMaxMbps)
+		m, _ := metrics.MAE(want, pred)
+		mean := metrics.Mean(want)
+		cs := make([]float64, len(want))
+		for i := range cs {
+			cs[i] = mean
+		}
+		mc, _ := metrics.MAE(want, cs)
+		mae += m
+		maeConst += mc
+	}
+	// The per-run-oracle constant is a strong floor; the predictor must be
+	// in its ballpark across runs (it wins whenever throughput varies).
+	if mae > 1.5*maeConst {
+		t.Errorf("bandwidth predictor MAE %v far worse than oracle constant %v", mae, maeConst)
+	}
+}
+
+func TestSimulateVideoSessionGoodLink(t *testing.T) {
+	thr := make([]float64, 300)
+	for i := range thr {
+		thr[i] = 10 // 10 Mbps steady
+	}
+	q := SimulateVideoSession(thr, 1, 4, 5)
+	if q.StallRatio > 0.01 {
+		t.Errorf("good link stalled %v of the time", q.StallRatio)
+	}
+	if q.MeanBitrate < 3.9 {
+		t.Errorf("good link bitrate %v", q.MeanBitrate)
+	}
+	if q.Startup <= 0 || q.Startup > 10 {
+		t.Errorf("startup %v s", q.Startup)
+	}
+}
+
+func TestSimulateVideoSessionBadLink(t *testing.T) {
+	thr := make([]float64, 300)
+	for i := range thr {
+		thr[i] = 1 // 1 Mbps against a 4 Mbps stream
+	}
+	q := SimulateVideoSession(thr, 1, 4, 5)
+	if q.StallRatio < 0.3 {
+		t.Errorf("starved link only stalled %v", q.StallRatio)
+	}
+}
+
+func TestSimulateVideoSessionDegenerate(t *testing.T) {
+	if q := SimulateVideoSession(nil, 1, 4, 5); q.StallRatio != 0 || q.MeanBitrate != 0 {
+		t.Error("empty series should be zero QoE")
+	}
+	if q := SimulateVideoSession([]float64{5}, 1, 0, 5); q != (VideoQoE{}) {
+		t.Error("zero bitrate should be zero QoE")
+	}
+}
+
+func TestVideoQoEOrdering(t *testing.T) {
+	// Better throughput must not yield worse video QoE.
+	rng := rand.New(rand.NewSource(4))
+	good := make([]float64, 400)
+	bad := make([]float64, 400)
+	for i := range good {
+		good[i] = 6 + rng.Float64()*2
+		bad[i] = 2 + rng.Float64()*2
+	}
+	qg := SimulateVideoSession(good, 1, 4, 5)
+	qb := SimulateVideoSession(bad, 1, 4, 5)
+	if qg.StallRatio > qb.StallRatio {
+		t.Errorf("good link stalls more: %v vs %v", qg.StallRatio, qb.StallRatio)
+	}
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"gendt/internal/baselines"
+	"gendt/internal/core"
+	"gendt/internal/dataset"
+	"gendt/internal/metrics"
+)
+
+// FidelityRow is one (method, scenario, channel) cell group of the
+// fidelity tables (Tables 3-7).
+type FidelityRow struct {
+	Method   string
+	Scenario string
+	Channel  string
+	MAE      float64
+	DTW      float64
+	HWD      float64
+}
+
+// String renders a row.
+func (r FidelityRow) String() string {
+	return fmt.Sprintf("%-14s %-14s %-11s MAE=%6.2f DTW=%6.2f HWD=%6.2f",
+		r.Method, r.Scenario, r.Channel, r.MAE, r.DTW, r.HWD)
+}
+
+// methodSet builds the standard comparison: GenDT plus the five baselines
+// of §5.2, all for the given channel set.
+func methodSet(opt Options, chans []core.ChannelSpec) []baselines.Generator {
+	nch := len(chans)
+	return []baselines.Generator{
+		baselines.NewGenDT(opt.gendtConfig(chans)),
+		baselines.NewFDaS(nch, opt.Seed+101),
+		baselines.NewMLP(nch, opt.Hidden, opt.BaselineEpochs, 2e-3, opt.Seed+102),
+		baselines.NewLSTMGNN(nch, opt.Hidden, opt.BaselineEpochs, 3e-3, opt.Seed+103),
+		baselines.NewDG(nch, opt.Hidden, opt.BaselineEpochs, false, opt.Seed+104),
+		baselines.NewDG(nch, opt.Hidden, opt.BaselineEpochs, true, opt.Seed+105),
+	}
+}
+
+// evaluate computes MAE/DTW/HWD per channel between a real and generated
+// normalized series, in physical units.
+func evaluate(chans []core.ChannelSpec, seq *core.Sequence, gen [][]float64) []FidelityRow {
+	rows := make([]FidelityRow, len(chans))
+	for c, ch := range chans {
+		real := make([]float64, seq.Len())
+		got := make([]float64, seq.Len())
+		for t := 0; t < seq.Len(); t++ {
+			real[t] = ch.Denormalize(seq.KPIs[t][c])
+			got[t] = ch.Denormalize(gen[t][c])
+		}
+		window := len(real) / 10
+		if window < 50 {
+			window = 50
+		}
+		mae, _ := metrics.MAE(real, got)
+		dtw, _ := metrics.DTW(real, got, window)
+		hwd, _ := metrics.HWD(real, got, 40)
+		rows[c] = FidelityRow{Channel: ch.Name, MAE: mae, DTW: dtw, HWD: hwd}
+	}
+	return rows
+}
+
+// FidelityComparison trains every method on the dataset's training split
+// and evaluates per-scenario, per-channel fidelity on the test split —
+// the engine behind Tables 3-6. Methods are independent, so training and
+// evaluation fan out across goroutines (one per method).
+func FidelityComparison(d *dataset.Dataset, opt Options, chans []core.ChannelSpec) []FidelityRow {
+	train := core.PrepareAll(d.TrainRuns(), chans, opt.MaxCells)
+	methods := methodSet(opt, chans)
+
+	// Prepared test sequences are shared read-only across methods.
+	scenarios := d.Scenarios()
+	testSeqs := map[string][]*core.Sequence{}
+	for _, scen := range scenarios {
+		for _, r := range d.TestRuns() {
+			if r.Scenario == scen {
+				testSeqs[scen] = append(testSeqs[scen], core.PrepareSequence(r, chans, opt.MaxCells))
+			}
+		}
+	}
+
+	perMethod := make([][]FidelityRow, len(methods))
+	var wg sync.WaitGroup
+	for mi, m := range methods {
+		wg.Add(1)
+		go func(mi int, m baselines.Generator) {
+			defer wg.Done()
+			m.Fit(train)
+			var rows []FidelityRow
+			for _, scen := range scenarios {
+				acc := make([]FidelityRow, len(chans))
+				for c := range acc {
+					acc[c] = FidelityRow{Method: m.Name(), Scenario: scen, Channel: chans[c].Name}
+				}
+				n := 0
+				for _, seq := range testSeqs[scen] {
+					gen := m.Generate(seq)
+					got := evaluate(chans, seq, gen)
+					for c := range got {
+						acc[c].MAE += got[c].MAE
+						acc[c].DTW += got[c].DTW
+						acc[c].HWD += got[c].HWD
+					}
+					n++
+				}
+				if n > 0 {
+					for c := range acc {
+						acc[c].MAE /= float64(n)
+						acc[c].DTW /= float64(n)
+						acc[c].HWD /= float64(n)
+					}
+				}
+				rows = append(rows, acc...)
+			}
+			perMethod[mi] = rows
+		}(mi, m)
+	}
+	wg.Wait()
+
+	// Reassemble in the stable order the tables expect: scenario-major,
+	// method-minor.
+	var out []FidelityRow
+	for si := range scenarios {
+		for mi := range methods {
+			rows := perMethod[mi]
+			per := len(chans)
+			out = append(out, rows[si*per:(si+1)*per]...)
+		}
+	}
+	return out
+}
+
+// AverageAcrossScenarios reduces per-scenario rows to per-(method, channel)
+// averages — the format of Tables 4 and 6.
+func AverageAcrossScenarios(rows []FidelityRow) []FidelityRow {
+	type key struct{ method, channel string }
+	sums := map[key]*FidelityRow{}
+	counts := map[key]int{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Method, r.Channel}
+		if _, ok := sums[k]; !ok {
+			sums[k] = &FidelityRow{Method: r.Method, Scenario: "All", Channel: r.Channel}
+			order = append(order, k)
+		}
+		sums[k].MAE += r.MAE
+		sums[k].DTW += r.DTW
+		sums[k].HWD += r.HWD
+		counts[k]++
+	}
+	out := make([]FidelityRow, 0, len(order))
+	for _, k := range order {
+		r := *sums[k]
+		n := float64(counts[k])
+		r.MAE /= n
+		r.DTW /= n
+		r.HWD /= n
+		out = append(out, r)
+	}
+	return out
+}
+
+// FilterChannel keeps only rows of one channel (e.g. "RSRP" for Tables
+// 3 and 5).
+func FilterChannel(rows []FidelityRow, channel string) []FidelityRow {
+	var out []FidelityRow
+	for _, r := range rows {
+		if r.Channel == channel {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RenderFidelity prints rows as an aligned text table grouped by scenario.
+func RenderFidelity(title string, rows []FidelityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	byScenario := map[string][]FidelityRow{}
+	var scenarios []string
+	for _, r := range rows {
+		if _, ok := byScenario[r.Scenario]; !ok {
+			scenarios = append(scenarios, r.Scenario)
+		}
+		byScenario[r.Scenario] = append(byScenario[r.Scenario], r)
+	}
+	for _, s := range scenarios {
+		fmt.Fprintf(&b, "-- %s --\n", s)
+		rs := byScenario[s]
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].Channel < rs[j].Channel })
+		for _, r := range rs {
+			fmt.Fprintln(&b, r.String())
+		}
+	}
+	return b.String()
+}
+
+// BestMethodBy returns the method with the lowest average value of the
+// given metric selector across rows (used by tests to assert "GenDT wins").
+func BestMethodBy(rows []FidelityRow, sel func(FidelityRow) float64) string {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, r := range rows {
+		sums[r.Method] += sel(r)
+		counts[r.Method]++
+	}
+	best, bestV := "", 0.0
+	for m, s := range sums {
+		v := s / float64(counts[m])
+		if best == "" || v < bestV {
+			best, bestV = m, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,183 @@
+// Package export serializes measurement runs and generated series to CSV
+// and JSON for use outside the library (plotting, spreadsheets, other
+// tools).
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"gendt/internal/dataset"
+	"gendt/internal/geo"
+)
+
+// runHeader is the CSV column layout for measurement runs.
+var runHeader = []string{
+	"t", "lat", "lon", "rsrp_dbm", "rsrq_db", "sinr_db", "cqi",
+	"rssi_dbm", "serving_cell", "handover", "visible_cells",
+}
+
+// WriteRunCSV writes one measurement run to path.
+func WriteRunCSV(path string, run dataset.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	defer f.Close()
+	if err := EncodeRunCSV(f, run); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// EncodeRunCSV streams a measurement run as CSV to w.
+func EncodeRunCSV(w io.Writer, run dataset.Run) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(runHeader); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, m := range run.Meas {
+		rec := []string{
+			fmtF(m.T), fmtF(m.Loc.Lat), fmtF(m.Loc.Lon),
+			fmtF(m.RSRP), fmtF(m.RSRQ), fmtF(m.SINR), fmtF(m.CQI),
+			fmtF(m.RSSI), strconv.Itoa(m.ServingCell),
+			strconv.FormatBool(m.Handover), strconv.Itoa(len(m.Visible)),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRunCSV reads back the (t, rsrp, rsrq, sinr, cqi, serving) columns of
+// a CSV written by EncodeRunCSV, returning parallel slices.
+func ReadRunCSV(r io.Reader) (t, rsrp, rsrq, sinr, cqi, serving []float64, err error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, nil, nil, nil, nil, nil, fmt.Errorf("export: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, nil, nil, nil, nil, nil, fmt.Errorf("export: empty CSV")
+	}
+	for i, rec := range recs[1:] {
+		if len(rec) < len(runHeader) {
+			return nil, nil, nil, nil, nil, nil, fmt.Errorf("export: short record %d", i+1)
+		}
+		vals := make([]float64, 7)
+		for j, col := range []int{0, 3, 4, 5, 6, 8} {
+			v, perr := strconv.ParseFloat(rec[col], 64)
+			if perr != nil {
+				return nil, nil, nil, nil, nil, nil, fmt.Errorf("export: record %d col %d: %w", i+1, col, perr)
+			}
+			vals[j] = v
+		}
+		t = append(t, vals[0])
+		rsrp = append(rsrp, vals[1])
+		rsrq = append(rsrq, vals[2])
+		sinr = append(sinr, vals[3])
+		cqi = append(cqi, vals[4])
+		serving = append(serving, vals[5])
+	}
+	return t, rsrp, rsrq, sinr, cqi, serving, nil
+}
+
+// GeneratedSeries is the JSON export format for generated KPI series.
+type GeneratedSeries struct {
+	Channels []string    `json:"channels"`
+	Interval float64     `json:"interval_s"`
+	Series   [][]float64 `json:"series"` // [channel][t], physical units
+}
+
+// WriteSeriesJSON writes generated series to path.
+func WriteSeriesJSON(path string, gs GeneratedSeries) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(gs); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadSeriesJSON reads a series file back.
+func ReadSeriesJSON(path string) (GeneratedSeries, error) {
+	var gs GeneratedSeries
+	f, err := os.Open(path)
+	if err != nil {
+		return gs, fmt.Errorf("export: %w", err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&gs); err != nil {
+		return gs, fmt.Errorf("export: %w", err)
+	}
+	return gs, nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }
+
+// trajHeader is the CSV layout for trajectories: one (t, lat, lon) row per
+// sample.
+var trajHeader = []string{"t", "lat", "lon"}
+
+// WriteTrajectoryCSV writes a trajectory to path.
+func WriteTrajectoryCSV(path string, tr geo.Trajectory) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write(trajHeader); err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	for _, s := range tr {
+		if err := cw.Write([]string{fmtF(s.T), fmtF(s.Lat), fmtF(s.Lon)}); err != nil {
+			return fmt.Errorf("export: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTrajectoryCSV reads a trajectory written by WriteTrajectoryCSV (or
+// any CSV with t,lat,lon columns in that order, header row required).
+func ReadTrajectoryCSV(r io.Reader) (geo.Trajectory, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("export: %w", err)
+	}
+	if len(recs) < 2 {
+		return nil, fmt.Errorf("export: trajectory CSV needs a header and at least one row")
+	}
+	var tr geo.Trajectory
+	for i, rec := range recs[1:] {
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("export: short trajectory record %d", i+1)
+		}
+		var vals [3]float64
+		for j := 0; j < 3; j++ {
+			v, perr := strconv.ParseFloat(rec[j], 64)
+			if perr != nil {
+				return nil, fmt.Errorf("export: trajectory record %d col %d: %w", i+1, j, perr)
+			}
+			vals[j] = v
+		}
+		tr = append(tr, geo.Sample{Point: geo.Point{Lat: vals[1], Lon: vals[2]}, T: vals[0]})
+	}
+	return tr, nil
+}

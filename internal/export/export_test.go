@@ -1,0 +1,134 @@
+package export
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gendt/internal/dataset"
+)
+
+func smallRun(t *testing.T) dataset.Run {
+	t.Helper()
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 81, Scale: 0.01})
+	return d.Runs[0]
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	run := smallRun(t)
+	var buf bytes.Buffer
+	if err := EncodeRunCSV(&buf, run); err != nil {
+		t.Fatal(err)
+	}
+	ts, rsrp, rsrq, sinr, cqi, serving, err := ReadRunCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != len(run.Meas) {
+		t.Fatalf("read %d rows, want %d", len(ts), len(run.Meas))
+	}
+	for i := range run.Meas {
+		m := run.Meas[i]
+		if !close4(rsrp[i], m.RSRP) || !close4(rsrq[i], m.RSRQ) ||
+			!close4(sinr[i], m.SINR) || !close4(cqi[i], m.CQI) {
+			t.Fatalf("row %d mismatch", i)
+		}
+		if int(serving[i]) != m.ServingCell {
+			t.Fatalf("row %d serving %v != %d", i, serving[i], m.ServingCell)
+		}
+	}
+}
+
+func close4(a, b float64) bool {
+	d := a - b
+	return d < 1e-3 && d > -1e-3
+}
+
+func TestWriteRunCSVFile(t *testing.T) {
+	run := smallRun(t)
+	path := filepath.Join(t.TempDir(), "run.csv")
+	if err := WriteRunCSV(path, run); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "t,lat,lon,rsrp_dbm") {
+		t.Errorf("unexpected header: %q", string(data[:40]))
+	}
+}
+
+func TestReadRunCSVErrors(t *testing.T) {
+	if _, _, _, _, _, _, err := ReadRunCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV should error")
+	}
+	bad := "t,lat,lon,rsrp_dbm,rsrq_db,sinr_db,cqi,rssi_dbm,serving_cell,handover,visible_cells\nx,1,2,3,4,5,6,7,8,true,9\n"
+	if _, _, _, _, _, _, err := ReadRunCSV(strings.NewReader(bad)); err == nil {
+		t.Error("non-numeric field should error")
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	gs := GeneratedSeries{
+		Channels: []string{"RSRP", "RSRQ"},
+		Interval: 1,
+		Series:   [][]float64{{-80, -81}, {-10, -11}},
+	}
+	path := filepath.Join(t.TempDir(), "series.json")
+	if err := WriteSeriesJSON(path, gs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSeriesJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Channels) != 2 || back.Channels[0] != "RSRP" {
+		t.Errorf("channels = %v", back.Channels)
+	}
+	if back.Series[1][1] != -11 {
+		t.Errorf("series = %v", back.Series)
+	}
+}
+
+func TestReadSeriesJSONMissing(t *testing.T) {
+	if _, err := ReadSeriesJSON(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestTrajectoryCSVRoundTrip(t *testing.T) {
+	run := smallRun(t)
+	path := filepath.Join(t.TempDir(), "route.csv")
+	if err := WriteTrajectoryCSV(path, run.Traj); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	back, err := ReadTrajectoryCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(run.Traj) {
+		t.Fatalf("read %d samples, want %d", len(back), len(run.Traj))
+	}
+	for i := range back {
+		if !close4(back[i].T, run.Traj[i].T) || !close4(back[i].Lat, run.Traj[i].Lat) {
+			t.Fatalf("sample %d mismatch", i)
+		}
+	}
+}
+
+func TestReadTrajectoryCSVErrors(t *testing.T) {
+	if _, err := ReadTrajectoryCSV(strings.NewReader("t,lat,lon\n")); err == nil {
+		t.Error("header-only CSV should error")
+	}
+	if _, err := ReadTrajectoryCSV(strings.NewReader("t,lat,lon\nx,1,2\n")); err == nil {
+		t.Error("bad number should error")
+	}
+}

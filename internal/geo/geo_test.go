@@ -1,0 +1,317 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const (
+	edinburgh = 55.9533
+	edinLon   = -3.1883
+)
+
+func TestDistanceZero(t *testing.T) {
+	p := Point{Lat: edinburgh, Lon: edinLon}
+	if d := Distance(p, p); d != 0 {
+		t.Fatalf("Distance(p,p) = %v, want 0", d)
+	}
+}
+
+func TestDistanceKnown(t *testing.T) {
+	// Edinburgh to Glasgow is roughly 67 km.
+	edi := Point{Lat: 55.9533, Lon: -3.1883}
+	gla := Point{Lat: 55.8642, Lon: -4.2518}
+	d := Distance(edi, gla)
+	if d < 65000 || d > 69000 {
+		t.Fatalf("Edinburgh-Glasgow distance = %v m, want ~67 km", d)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(lat1, lon1, lat2, lon2 float64) bool {
+		a := Point{Lat: math.Mod(lat1, 89), Lon: math.Mod(lon1, 179)}
+		b := Point{Lat: math.Mod(lat2, 89), Lon: math.Mod(lon2, 179)}
+		d1, d2 := Distance(a, b), Distance(b, a)
+		return math.Abs(d1-d2) < 1e-6*(1+d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOffsetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		p := Point{Lat: edinburgh + rng.Float64()*0.1, Lon: edinLon + rng.Float64()*0.1}
+		brg := rng.Float64() * 360
+		dist := rng.Float64() * 5000
+		q := Offset(p, brg, dist)
+		got := Distance(p, q)
+		if math.Abs(got-dist) > 0.5 {
+			t.Fatalf("Offset distance = %v, want %v", got, dist)
+		}
+		gotBrg := Bearing(p, q)
+		diff := math.Abs(math.Mod(gotBrg-brg+540, 360) - 180)
+		if dist > 10 && diff > 0.5 {
+			t.Fatalf("Offset bearing = %v, want %v", gotBrg, brg)
+		}
+	}
+}
+
+func TestBearingCardinal(t *testing.T) {
+	p := Point{Lat: 55, Lon: -3}
+	cases := []struct {
+		to   Point
+		want float64
+	}{
+		{Point{Lat: 56, Lon: -3}, 0},
+		{Point{Lat: 54, Lon: -3}, 180},
+		{Point{Lat: 55, Lon: -2}, 90},
+		{Point{Lat: 55, Lon: -4}, 270},
+	}
+	for _, c := range cases {
+		got := Bearing(p, c.to)
+		diff := math.Abs(math.Mod(got-c.want+540, 360) - 180)
+		if diff > 1.0 {
+			t.Errorf("Bearing to %v = %v, want %v", c.to, got, c.want)
+		}
+	}
+}
+
+func TestProjectionRoundTrip(t *testing.T) {
+	pr := NewProjection(Point{Lat: edinburgh, Lon: edinLon})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		p := Point{Lat: edinburgh + (rng.Float64()-0.5)*0.2, Lon: edinLon + (rng.Float64()-0.5)*0.2}
+		x, y := pr.ToXY(p)
+		q := pr.FromXY(x, y)
+		if Distance(p, q) > 0.01 {
+			t.Fatalf("projection round trip moved point by %v m", Distance(p, q))
+		}
+	}
+}
+
+func TestProjectionMatchesHaversineLocally(t *testing.T) {
+	pr := NewProjection(Point{Lat: edinburgh, Lon: edinLon})
+	a := Point{Lat: edinburgh, Lon: edinLon}
+	b := Point{Lat: edinburgh + 0.01, Lon: edinLon + 0.01}
+	hd := Distance(a, b)
+	pd := pr.PlanarDistance(a, b)
+	if math.Abs(hd-pd)/hd > 0.01 {
+		t.Fatalf("planar %v vs haversine %v differ by more than 1%%", pd, hd)
+	}
+}
+
+func TestTrajectoryBasics(t *testing.T) {
+	tr := Trajectory{
+		{Point{55, -3}, 0},
+		{Point{55.001, -3}, 10},
+		{Point{55.002, -3}, 20},
+	}
+	if d := tr.Duration(); d != 20 {
+		t.Errorf("Duration = %v, want 20", d)
+	}
+	if g := tr.TimeGranularity(); g != 10 {
+		t.Errorf("TimeGranularity = %v, want 10", g)
+	}
+	l := tr.Length()
+	want := Distance(tr[0].Point, tr[2].Point)
+	if math.Abs(l-want) > 1 {
+		t.Errorf("Length = %v, want ~%v", l, want)
+	}
+	if s := tr.AvgSpeed(); math.Abs(s-l/20) > 1e-9 {
+		t.Errorf("AvgSpeed = %v, want %v", s, l/20)
+	}
+}
+
+func TestTrajectoryAtInterpolates(t *testing.T) {
+	tr := Trajectory{
+		{Point{55, -3}, 0},
+		{Point{56, -3}, 10},
+	}
+	mid := tr.At(5)
+	if math.Abs(mid.Lat-55.5) > 1e-9 {
+		t.Errorf("At(5).Lat = %v, want 55.5", mid.Lat)
+	}
+	if p := tr.At(-5); p != tr[0].Point {
+		t.Errorf("At before start = %v, want clamp to first", p)
+	}
+	if p := tr.At(100); p != tr[1].Point {
+		t.Errorf("At after end = %v, want clamp to last", p)
+	}
+}
+
+func TestResample(t *testing.T) {
+	tr := Trajectory{
+		{Point{55, -3}, 0},
+		{Point{55.01, -3}, 30},
+	}
+	rs, err := tr.Resample(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 31 {
+		t.Fatalf("Resample produced %d samples, want 31", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if math.Abs(rs[i].T-rs[i-1].T-1) > 1e-9 {
+			t.Fatalf("irregular interval at %d", i)
+		}
+	}
+	if _, err := tr.Resample(0); err == nil {
+		t.Error("Resample(0) should error")
+	}
+	if _, err := (Trajectory{}).Resample(1); err == nil {
+		t.Error("Resample of empty trajectory should error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Trajectory{{Point{55, -3}, 100}, {Point{55.1, -3}, 110}}
+	b := Trajectory{{Point{56, -3}, 7}, {Point{56.1, -3}, 17}}
+	c := Concat(5, a, b)
+	if len(c) != 4 {
+		t.Fatalf("Concat length = %d, want 4", len(c))
+	}
+	if c[0].T != 0 || c[1].T != 10 {
+		t.Errorf("first segment times = %v, %v", c[0].T, c[1].T)
+	}
+	if c[2].T != 15 || c[3].T != 25 {
+		t.Errorf("second segment times = %v, %v, want 15, 25", c[2].T, c[3].T)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	tr := Trajectory{{Point{55, -3}, 0}, {Point{55, -3}, 5}, {Point{55, -3}, 10}}
+	s := tr.Slice(4, 10)
+	if len(s) != 2 {
+		t.Fatalf("Slice length = %d, want 2", len(s))
+	}
+}
+
+func TestBuildRouteAdvances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := BuildRoute(RouteSpec{
+		Start:    Point{Lat: edinburgh, Lon: edinLon},
+		Bearing:  45,
+		Duration: 300,
+		Interval: 1,
+		Profile:  CityDriveProfile,
+	}, rng)
+	if len(tr) != 301 {
+		t.Fatalf("route has %d samples, want 301", len(tr))
+	}
+	speed := tr.AvgSpeed()
+	if speed < 4 || speed > 18 {
+		t.Errorf("city route avg speed = %v m/s, want within profile bounds", speed)
+	}
+}
+
+func TestBuildRouteSpeedProfiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := []struct {
+		name    string
+		profile SpeedProfile
+		lo, hi  float64
+	}{
+		{"walk", WalkProfile, 0.8, 2.2},
+		{"highway", HighwayProfile, 20, 38},
+	}
+	for _, c := range cases {
+		tr := BuildRoute(RouteSpec{
+			Start: Point{Lat: edinburgh, Lon: edinLon}, Bearing: 10,
+			Duration: 600, Interval: 1, Profile: c.profile,
+		}, rng)
+		s := tr.AvgSpeed()
+		if s < c.lo || s > c.hi {
+			t.Errorf("%s avg speed = %v, want in [%v, %v]", c.name, s, c.lo, c.hi)
+		}
+	}
+}
+
+func TestLoopRouteReturnsToStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := LoopRoute(RouteSpec{
+		Start: Point{Lat: edinburgh, Lon: edinLon}, Bearing: 90,
+		Duration: 200, Interval: 1, Profile: TramProfile,
+	}, rng)
+	first, last := tr[0].Point, tr[len(tr)-1].Point
+	if Distance(first, last) > 1 {
+		t.Errorf("loop route ends %v m from start", Distance(first, last))
+	}
+	// Timestamps must be strictly increasing.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].T <= tr[i-1].T {
+			t.Fatalf("non-increasing time at %d", i)
+		}
+	}
+}
+
+func TestMinDistanceTo(t *testing.T) {
+	a := Trajectory{{Point{55, -3}, 0}}
+	b := Trajectory{{Point{55, -3.01}, 0}, {Point{55, -4}, 10}}
+	got := a.MinDistanceTo(b)
+	want := Distance(Point{55, -3}, Point{55, -3.01})
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("MinDistanceTo = %v, want %v", got, want)
+	}
+}
+
+func TestBoundingBoxAndCentroid(t *testing.T) {
+	tr := Trajectory{
+		{Point{55, -3}, 0},
+		{Point{56, -2}, 10},
+	}
+	min, max := tr.BoundingBox()
+	if min.Lat != 55 || max.Lat != 56 || min.Lon != -3 || max.Lon != -2 {
+		t.Errorf("BoundingBox = %v %v", min, max)
+	}
+	c := tr.Centroid()
+	if math.Abs(c.Lat-55.5) > 1e-9 || math.Abs(c.Lon+2.5) > 1e-9 {
+		t.Errorf("Centroid = %v", c)
+	}
+}
+
+func TestRouteThroughVisitsWaypoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	wps := []Point{
+		{Lat: edinburgh, Lon: edinLon},
+		Offset(Point{Lat: edinburgh, Lon: edinLon}, 90, 800),
+		Offset(Point{Lat: edinburgh, Lon: edinLon}, 45, 1500),
+	}
+	tr := RouteThrough(wps, CityDriveProfile, 1, rng)
+	if len(tr) < 10 {
+		t.Fatalf("route too short: %d samples", len(tr))
+	}
+	// Every waypoint must be approached within a couple of metres.
+	for wi, wp := range wps {
+		best := math.Inf(1)
+		for _, s := range tr {
+			if d := Distance(s.Point, wp); d < best {
+				best = d
+			}
+		}
+		if best > 2 {
+			t.Errorf("waypoint %d missed by %v m", wi, best)
+		}
+	}
+	// Constant interval, increasing time.
+	for i := 1; i < len(tr); i++ {
+		if math.Abs(tr[i].T-tr[i-1].T-1) > 1e-9 {
+			t.Fatalf("irregular interval at %d", i)
+		}
+	}
+}
+
+func TestRouteThroughDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	if tr := RouteThrough(nil, WalkProfile, 1, rng); tr != nil {
+		t.Error("empty waypoints should give nil")
+	}
+	one := []Point{{Lat: 55, Lon: -3}}
+	if tr := RouteThrough(one, WalkProfile, 1, rng); len(tr) != 1 {
+		t.Errorf("single waypoint should give 1 sample, got %d", len(tr))
+	}
+}

@@ -1,0 +1,144 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SpeedProfile generates per-second speeds (m/s) for a mobility mode; it is
+// fed by a seeded RNG so routes are reproducible.
+type SpeedProfile struct {
+	Mean  float64 // target mean speed, m/s
+	Std   float64 // speed variability
+	Min   float64 // floor
+	Max   float64 // ceiling
+	Alpha float64 // AR(1) smoothing in (0,1); higher = smoother speed changes
+}
+
+// Walk, Bus, Tram, CityDrive, and Highway are the mobility modes used by the
+// paper's measurement scenarios (Tables 1 and 2).
+var (
+	WalkProfile      = SpeedProfile{Mean: 1.4, Std: 0.3, Min: 0.5, Max: 2.2, Alpha: 0.9}
+	BusProfile       = SpeedProfile{Mean: 5.6, Std: 2.5, Min: 0, Max: 14, Alpha: 0.85}
+	TramProfile      = SpeedProfile{Mean: 11.5, Std: 3.5, Min: 0, Max: 19, Alpha: 0.9}
+	CityDriveProfile = SpeedProfile{Mean: 9.5, Std: 4.0, Min: 0, Max: 18, Alpha: 0.8}
+	HighwayProfile   = SpeedProfile{Mean: 29, Std: 4.0, Min: 18, Max: 38, Alpha: 0.95}
+)
+
+// next returns the next speed given the previous one, evolving an AR(1)
+// process around the profile mean.
+func (sp SpeedProfile) next(prev float64, rng *rand.Rand) float64 {
+	v := sp.Alpha*prev + (1-sp.Alpha)*sp.Mean + sp.Std*math.Sqrt(1-sp.Alpha*sp.Alpha)*rng.NormFloat64()
+	return math.Max(sp.Min, math.Min(sp.Max, v))
+}
+
+// RouteSpec describes a synthetic route through a region.
+type RouteSpec struct {
+	Start      Point
+	Bearing    float64 // initial heading, degrees
+	Duration   float64 // seconds
+	Interval   float64 // sampling interval, seconds
+	Profile    SpeedProfile
+	TurnEvery  float64 // mean seconds between heading changes (0 = never turn)
+	TurnJitter float64 // stddev of heading change, degrees
+	GridSnap   bool    // snap turns to 90-degree street-grid increments
+}
+
+// BuildRoute synthesizes a trajectory from the spec using the given RNG.
+// The walker advances at the profile speed each interval and occasionally
+// changes heading, mimicking street-grid or highway movement.
+func BuildRoute(spec RouteSpec, rng *rand.Rand) Trajectory {
+	if spec.Interval <= 0 {
+		spec.Interval = 1
+	}
+	n := int(spec.Duration/spec.Interval) + 1
+	tr := make(Trajectory, 0, n)
+	pos := spec.Start
+	heading := spec.Bearing
+	speed := spec.Profile.Mean
+	nextTurn := math.Inf(1)
+	if spec.TurnEvery > 0 {
+		nextTurn = spec.TurnEvery * (0.5 + rng.Float64())
+	}
+	t := 0.0
+	for i := 0; i < n; i++ {
+		tr = append(tr, Sample{Point: pos, T: t})
+		speed = spec.Profile.next(speed, rng)
+		pos = Offset(pos, heading, speed*spec.Interval)
+		t += spec.Interval
+		if t >= nextTurn {
+			if spec.GridSnap {
+				// Turn left or right by 90 degrees, as on a street grid.
+				if rng.Intn(2) == 0 {
+					heading += 90
+				} else {
+					heading -= 90
+				}
+			} else {
+				heading += spec.TurnJitter * rng.NormFloat64()
+			}
+			heading = math.Mod(heading+360, 360)
+			nextTurn = t + spec.TurnEvery*(0.5+rng.Float64())
+		} else if !spec.GridSnap && spec.TurnJitter > 0 {
+			// Gentle continuous drift for non-grid (highway) routes.
+			heading += 0.1 * spec.TurnJitter * rng.NormFloat64()
+			heading = math.Mod(heading+360, 360)
+		}
+	}
+	return tr
+}
+
+// LoopRoute builds a closed loop (useful for the repeated-measurement
+// experiment of Figures 1–2): the device goes out for half the duration and
+// retraces its path back.
+func LoopRoute(spec RouteSpec, rng *rand.Rand) Trajectory {
+	half := spec
+	half.Duration = spec.Duration / 2
+	out := BuildRoute(half, rng)
+	back := make(Trajectory, 0, len(out))
+	t := out[len(out)-1].T
+	for i := len(out) - 1; i >= 0; i-- {
+		t += spec.Interval
+		back = append(back, Sample{Point: out[i].Point, T: t})
+	}
+	return append(out, back...)
+}
+
+// RouteThrough builds a constant-interval trajectory that travels through
+// the given waypoints in order at the profile's speed (with its natural
+// variability). This is the practical entry point for virtual drive tests
+// over user-chosen routes: operators typically have a handful of waypoints
+// (street corners, exits), not a 1 Hz GPS trace.
+func RouteThrough(waypoints []Point, profile SpeedProfile, interval float64, rng *rand.Rand) Trajectory {
+	if len(waypoints) == 0 {
+		return nil
+	}
+	if interval <= 0 {
+		interval = 1
+	}
+	tr := Trajectory{{Point: waypoints[0], T: 0}}
+	if len(waypoints) == 1 {
+		return tr
+	}
+	t := 0.0
+	pos := waypoints[0]
+	speed := profile.Mean
+	for _, wp := range waypoints[1:] {
+		for {
+			remaining := Distance(pos, wp)
+			speed = profile.next(speed, rng)
+			step := math.Max(speed, 0.1) * interval
+			if step >= remaining {
+				pos = wp
+			} else {
+				pos = Offset(pos, Bearing(pos, wp), step)
+			}
+			t += interval
+			tr = append(tr, Sample{Point: pos, T: t})
+			if pos == wp || Distance(pos, wp) < 0.5 {
+				break
+			}
+		}
+	}
+	return tr
+}

@@ -1,0 +1,125 @@
+package mdt
+
+import (
+	"math"
+	"testing"
+
+	"gendt/internal/dataset"
+	"gendt/internal/geo"
+)
+
+func testWorld(t *testing.T) (*dataset.Dataset, geo.Point) {
+	t.Helper()
+	d := dataset.NewDatasetA(dataset.Spec{Seed: 71, Scale: 0.01})
+	// Dataset A is anchored at its first run's region; use the centroid of
+	// a run as the campaign centre.
+	return d, d.Runs[0].Traj.Centroid()
+}
+
+func TestCollectProducesRuns(t *testing.T) {
+	d, center := testWorld(t)
+	spec := DefaultMDT(1)
+	spec.Users = 10
+	spec.SessionS = 60
+	runs := Collect(d.World, center, spec)
+	if len(runs) == 0 {
+		t.Fatal("MDT campaign produced no runs")
+	}
+	for _, r := range runs {
+		if len(r.Meas) != len(r.Traj) {
+			t.Fatalf("run measurements %d != trajectory %d", len(r.Meas), len(r.Traj))
+		}
+		for _, m := range r.Meas {
+			if len(m.EnvCtx) == 0 {
+				t.Fatal("report missing context annotation")
+			}
+		}
+	}
+}
+
+func TestCollectSporadic(t *testing.T) {
+	d, center := testWorld(t)
+	spec := DefaultMDT(2)
+	spec.Users = 8
+	spec.SessionS = 120
+	spec.ReportProb = 0.3
+	runs := Collect(d.World, center, spec)
+	for _, r := range runs {
+		// With 30% reporting, runs must be much shorter than sessions.
+		if float64(len(r.Meas)) > 0.6*r.Traj.Duration()/spec.Interval {
+			t.Fatalf("run has %d reports for %v s session — not sporadic",
+				len(r.Meas), r.Traj.Duration())
+		}
+	}
+}
+
+func TestCollectLocationErrorAnnotatesWrongContext(t *testing.T) {
+	d, center := testWorld(t)
+	spec := DefaultMDT(3)
+	spec.Users = 6
+	spec.SessionS = 60
+	spec.LocErrM = 200 // exaggerated to make the effect measurable
+	runs := Collect(d.World, center, spec)
+	if len(runs) == 0 {
+		t.Skip("no runs at this seed")
+	}
+	// Reported locations differ from a re-simulation at true locations; we
+	// can at least assert the visible sets were recomputed (non-empty) and
+	// locations are plausible.
+	moved := 0
+	for _, r := range runs {
+		for _, m := range r.Meas {
+			if len(m.Visible) > 0 {
+				moved++
+			}
+		}
+	}
+	if moved == 0 {
+		t.Error("no annotated reports")
+	}
+}
+
+func TestCrowdsourcingSignalOnly(t *testing.T) {
+	d, center := testWorld(t)
+	spec := DefaultCrowdsourcing(4)
+	spec.Users = 6
+	spec.SessionS = 120
+	runs := Collect(d.World, center, spec)
+	if len(runs) == 0 {
+		t.Skip("no runs at this seed")
+	}
+	for _, r := range runs {
+		for _, m := range r.Meas {
+			if m.RSRQ != -19.5 || m.SINR != -10 || m.CQI != 1 {
+				t.Fatalf("crowdsourced report leaked full KPIs: %+v", m)
+			}
+			if m.RSRP >= 0 || math.IsNaN(m.RSRP) {
+				t.Fatalf("RSRP missing from crowdsourced report")
+			}
+		}
+		if g := r.Traj.TimeGranularity(); g < 4 {
+			t.Fatalf("crowdsourced granularity %v s, want coarse (>= 5s nominal)", g)
+		}
+	}
+}
+
+func TestTrimTo(t *testing.T) {
+	d, center := testWorld(t)
+	spec := DefaultMDT(5)
+	spec.Users = 10
+	spec.SessionS = 120
+	runs := Collect(d.World, center, spec)
+	total := SampleCount(runs)
+	if total == 0 {
+		t.Skip("no samples")
+	}
+	n := total / 2
+	trimmed := TrimTo(runs, n)
+	if got := SampleCount(trimmed); got != n {
+		t.Errorf("TrimTo(%d) kept %d samples", n, got)
+	}
+	// Trimming to more than available keeps everything.
+	if got := SampleCount(TrimTo(runs, total*2)); got != total {
+		t.Errorf("over-trim kept %d of %d", got, total)
+	}
+}

@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDTW exercises the DTW dynamic program with arbitrary series shapes
+// and band widths: it must never panic and must stay symmetric and
+// non-negative.
+func FuzzDTW(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1}, 2)
+	f.Add([]byte{0}, []byte{0, 0, 0, 0, 0, 0, 0, 0}, 1)
+	f.Add([]byte{255, 0, 255}, []byte{128}, 0)
+	f.Fuzz(func(t *testing.T, a, b []byte, window int) {
+		if len(a) == 0 || len(b) == 0 || len(a) > 64 || len(b) > 64 {
+			return
+		}
+		if window < -10 || window > 128 {
+			return
+		}
+		x := make([]float64, len(a))
+		y := make([]float64, len(b))
+		for i, v := range a {
+			x[i] = float64(v)
+		}
+		for i, v := range b {
+			y[i] = float64(v)
+		}
+		d1, err1 := DTW(x, y, window)
+		d2, err2 := DTW(y, x, window)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("asymmetric errors: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if d1 < 0 || math.IsNaN(d1) {
+			t.Fatalf("DTW = %v", d1)
+		}
+		if math.Abs(d1-d2) > 1e-9*(1+d1) {
+			t.Fatalf("DTW not symmetric: %v vs %v", d1, d2)
+		}
+	})
+}
+
+// FuzzHWD checks the histogram Wasserstein distance never panics, is
+// non-negative, and is symmetric.
+func FuzzHWD(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{4, 3, 2, 1}, 10)
+	f.Add([]byte{0, 0}, []byte{255}, 1)
+	f.Fuzz(func(t *testing.T, a, b []byte, bins int) {
+		if len(a) == 0 || len(b) == 0 || len(a) > 128 || len(b) > 128 {
+			return
+		}
+		if bins < -5 || bins > 500 {
+			return
+		}
+		x := make([]float64, len(a))
+		y := make([]float64, len(b))
+		for i, v := range a {
+			x[i] = float64(v)
+		}
+		for i, v := range b {
+			y[i] = float64(v)
+		}
+		d1, err := HWD(x, y, bins)
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		d2, _ := HWD(y, x, bins)
+		if d1 < 0 || math.IsNaN(d1) {
+			t.Fatalf("HWD = %v", d1)
+		}
+		if math.Abs(d1-d2) > 1e-9*(1+d1) {
+			t.Fatalf("HWD not symmetric: %v vs %v", d1, d2)
+		}
+	})
+}

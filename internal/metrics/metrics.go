@@ -1,0 +1,243 @@
+// Package metrics implements the fidelity metrics of the paper's §5.1:
+// mean absolute error (MAE), dynamic time warping distance (DTW), and the
+// histogram Wasserstein distance (HWD), plus the histogram/CDF helpers the
+// experiments use.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// MAE returns the mean absolute error between two equal-length series.
+func MAE(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, errors.New("metrics: MAE requires equal-length series")
+	}
+	if len(x) == 0 {
+		return 0, errors.New("metrics: MAE of empty series")
+	}
+	sum := 0.0
+	for i := range x {
+		sum += math.Abs(x[i] - y[i])
+	}
+	return sum / float64(len(x)), nil
+}
+
+// DTW returns the dynamic-time-warping distance between two series, with
+// per-step cost |x_i - y_j|, normalized by the warping path length so that
+// values are comparable across series lengths. A non-positive window
+// disables the Sakoe–Chiba band constraint.
+func DTW(x, y []float64, window int) (float64, error) {
+	n, m := len(x), len(y)
+	if n == 0 || m == 0 {
+		return 0, errors.New("metrics: DTW of empty series")
+	}
+	if window <= 0 {
+		window = max(n, m)
+	}
+	window = max(window, abs(n-m)) // band must cover the diagonal shift
+	const inf = math.MaxFloat64
+	prev := make([]float64, m+1)
+	cur := make([]float64, m+1)
+	steps := make([][]int32, n+1) // path length tracker
+	for i := range steps {
+		steps[i] = make([]int32, m+1)
+	}
+	for j := 0; j <= m; j++ {
+		prev[j] = inf
+	}
+	prev[0] = 0
+	for i := 1; i <= n; i++ {
+		for j := 0; j <= m; j++ {
+			cur[j] = inf
+		}
+		lo := max(1, i-window)
+		hi := min(m, i+window)
+		for j := lo; j <= hi; j++ {
+			cost := math.Abs(x[i-1] - y[j-1])
+			// min of (i-1,j), (i,j-1), (i-1,j-1)
+			best := prev[j]
+			bs := steps[i-1][j]
+			if cur[j-1] < best {
+				best = cur[j-1]
+				bs = steps[i][j-1]
+			}
+			if prev[j-1] < best {
+				best = prev[j-1]
+				bs = steps[i-1][j-1]
+			}
+			if best == inf {
+				continue
+			}
+			cur[j] = cost + best
+			steps[i][j] = bs + 1
+		}
+		prev, cur = cur, prev
+	}
+	total := prev[m]
+	if total == inf {
+		return 0, errors.New("metrics: DTW band excluded all paths")
+	}
+	return total / float64(steps[n][m]), nil
+}
+
+// Histogram bins values into nBins equal-width bins over [lo, hi],
+// returning normalized bin masses (summing to 1). Values outside the range
+// clamp to the edge bins.
+func Histogram(xs []float64, lo, hi float64, nBins int) []float64 {
+	h := make([]float64, nBins)
+	if len(xs) == 0 || nBins <= 0 || hi <= lo {
+		return h
+	}
+	w := (hi - lo) / float64(nBins)
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		h[b]++
+	}
+	for i := range h {
+		h[i] /= float64(len(xs))
+	}
+	return h
+}
+
+// HWD computes the histogram Wasserstein distance (paper §5.1): the
+// 1-Wasserstein (earth mover's) distance between the empirical histograms
+// of the two samples over their pooled range, expressed in the data's
+// units. For 1-D distributions W1 is the L1 distance between CDFs times
+// the bin width.
+func HWD(x, y []float64, nBins int) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, errors.New("metrics: HWD of empty sample")
+	}
+	if nBins <= 0 {
+		nBins = 50
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	for _, v := range y {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if hi == lo {
+		return 0, nil
+	}
+	hx := Histogram(x, lo, hi, nBins)
+	hy := Histogram(y, lo, hi, nBins)
+	w := (hi - lo) / float64(nBins)
+	// W1 = sum over bins of |CDFx - CDFy| * binWidth.
+	var cx, cy, d float64
+	for i := 0; i < nBins; i++ {
+		cx += hx[i]
+		cy += hy[i]
+		d += math.Abs(cx-cy) * w
+	}
+	return d, nil
+}
+
+// WassersteinExact computes the exact 1-D 1-Wasserstein distance between
+// two samples via sorted quantile matching (no binning). Useful as a
+// cross-check of HWD in tests.
+func WassersteinExact(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, errors.New("metrics: Wasserstein of empty sample")
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	// Integrate |F_x^{-1}(q) - F_y^{-1}(q)| dq over q in (0,1).
+	n := lcmCap(len(xs), len(ys), 4096)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		q := (float64(i) + 0.5) / float64(n)
+		sum += math.Abs(quantileSorted(xs, q) - quantileSorted(ys, q))
+	}
+	return sum / float64(n), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	idx := q * float64(len(sorted))
+	i := int(idx)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func lcmCap(a, b, cap int) int {
+	n := a
+	if b > n {
+		n = b
+	}
+	n *= 2
+	if n > cap {
+		n = cap
+	}
+	return n
+}
+
+// CDF returns (sorted values, cumulative probabilities) for plotting
+// empirical CDFs (paper Figures 13, 16).
+func CDF(xs []float64) (vals, probs []float64) {
+	vals = append([]float64(nil), xs...)
+	sort.Float64s(vals)
+	probs = make([]float64, len(vals))
+	for i := range vals {
+		probs[i] = float64(i+1) / float64(len(vals))
+	}
+	return vals, probs
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// RateOfChange returns the mean absolute first-order difference of a
+// series — the "ROC" statistic of the paper's Table 2.
+func RateOfChange(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := 0.0
+	for i := 1; i < len(xs); i++ {
+		s += math.Abs(xs[i] - xs[i-1])
+	}
+	return s / float64(len(xs)-1)
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,244 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAEBasic(t *testing.T) {
+	got, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("MAE = %v, want 1", got)
+	}
+}
+
+func TestMAEErrors(t *testing.T) {
+	if _, err := MAE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Error("empty input should error")
+	}
+}
+
+func TestMAEIdentityIsZero(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, v := range xs {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		m, err := MAE(xs, xs)
+		return err == nil && m == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTWIdenticalIsZero(t *testing.T) {
+	x := []float64{1, 3, 2, 5, 4}
+	d, err := DTW(x, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("DTW(x,x) = %v, want 0", d)
+	}
+}
+
+func TestDTWShiftInvariance(t *testing.T) {
+	// DTW should forgive a small temporal shift that MAE punishes.
+	n := 100
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = math.Sin(float64(i) * 0.2)
+		y[i] = math.Sin(float64(i-3) * 0.2) // shifted by 3 samples
+	}
+	mae, _ := MAE(x, y)
+	dtw, err := DTW(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtw >= mae {
+		t.Errorf("DTW %v should be below MAE %v for a shifted signal", dtw, mae)
+	}
+}
+
+func TestDTWDifferentLengths(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{0, 0, 1, 1, 2, 2, 3, 3, 4, 4}
+	d, err := DTW(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.01 {
+		t.Errorf("DTW of time-stretched copy = %v, want ~0", d)
+	}
+}
+
+func TestDTWBandCoversDiagonal(t *testing.T) {
+	x := make([]float64, 50)
+	y := make([]float64, 120)
+	for i := range y {
+		y[i] = 1
+	}
+	if _, err := DTW(x, y, 1); err != nil {
+		t.Fatalf("narrow band with length mismatch should still work: %v", err)
+	}
+}
+
+func TestDTWEmptyErrors(t *testing.T) {
+	if _, err := DTW(nil, []float64{1}, 0); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestDTWSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 40)
+	y := make([]float64, 55)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	a, _ := DTW(x, y, 0)
+	b, _ := DTW(y, x, 0)
+	if math.Abs(a-b) > 1e-9 {
+		t.Errorf("DTW not symmetric: %v vs %v", a, b)
+	}
+}
+
+func TestHistogramMassSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	h := Histogram(xs, -4, 4, 40)
+	sum := 0.0
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("histogram mass = %v, want 1", sum)
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	h := Histogram([]float64{-100, 100}, 0, 1, 4)
+	if h[0] != 0.5 || h[3] != 0.5 {
+		t.Errorf("outliers not clamped to edge bins: %v", h)
+	}
+}
+
+func TestHWDIdenticalIsZero(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	d, err := HWD(x, x, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 1e-12 {
+		t.Errorf("HWD(x,x) = %v, want 0", d)
+	}
+}
+
+func TestHWDDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 2000)
+	y := make([]float64, 2000)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64() + 2 // shifted distribution
+	}
+	d, err := HWD(x, y, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W1 between N(0,1) and N(2,1) is exactly 2.
+	if math.Abs(d-2) > 0.3 {
+		t.Errorf("HWD = %v, want ~2", d)
+	}
+}
+
+func TestHWDMatchesExactWasserstein(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 3000)
+	y := make([]float64, 3000)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 2
+		y[i] = rng.NormFloat64() + 1
+	}
+	hwd, err := HWD(x, y, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := WassersteinExact(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hwd-exact) > 0.15*exact+0.05 {
+		t.Errorf("HWD %v vs exact W1 %v diverge", hwd, exact)
+	}
+}
+
+func TestHWDConstantSeries(t *testing.T) {
+	d, err := HWD([]float64{5, 5, 5}, []float64{5, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("HWD of equal constants = %v, want 0", d)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	vals, probs := CDF([]float64{3, 1, 2})
+	if vals[0] != 1 || vals[2] != 3 {
+		t.Errorf("CDF values not sorted: %v", vals)
+	}
+	if probs[len(probs)-1] != 1 {
+		t.Errorf("CDF must end at 1, got %v", probs[len(probs)-1])
+	}
+	for i := 1; i < len(probs); i++ {
+		if probs[i] <= probs[i-1] {
+			t.Errorf("CDF probs not increasing")
+		}
+	}
+}
+
+func TestMeanStdRoc(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := Std(xs); math.Abs(s-math.Sqrt(1.25)) > 1e-12 {
+		t.Errorf("Std = %v", s)
+	}
+	if r := RateOfChange(xs); r != 1 {
+		t.Errorf("ROC = %v, want 1", r)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 || RateOfChange(nil) != 0 {
+		t.Error("empty-input statistics should be 0")
+	}
+}
+
+func TestHWDErrors(t *testing.T) {
+	if _, err := HWD(nil, []float64{1}, 10); err == nil {
+		t.Error("empty sample should error")
+	}
+	if _, err := WassersteinExact(nil, []float64{1}); err == nil {
+		t.Error("empty sample should error")
+	}
+}

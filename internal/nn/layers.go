@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Linear is a fully connected layer y = W x + b.
+type Linear struct {
+	In, Out int
+	W, B    *Param
+
+	cache [][]float64 // stack of cached inputs
+}
+
+// NewLinear allocates a Glorot-initialized fully connected layer.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	return &Linear{
+		In: in, Out: out,
+		W: NewParam(in*out, XavierScale(in, out), rng),
+		B: NewParam(out, 0, rng),
+	}
+}
+
+// Forward implements Layer.
+func (l *Linear) Forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic("nn: Linear input dimension mismatch")
+	}
+	y := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		s := l.B.W[o]
+		row := l.W.W[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			s += row[i] * xi
+		}
+		y[o] = s
+	}
+	l.cache = append(l.cache, x)
+	return y
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(dy []float64) []float64 {
+	x := l.pop()
+	dx := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := dy[o]
+		l.B.G[o] += g
+		row := l.W.W[o*l.In : (o+1)*l.In]
+		grow := l.W.G[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			grow[i] += g * xi
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+func (l *Linear) pop() []float64 {
+	n := len(l.cache)
+	if n == 0 {
+		panic("nn: Backward without matching Forward")
+	}
+	x := l.cache[n-1]
+	l.cache = l.cache[:n-1]
+	return x
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
+
+// ClearCache implements Layer.
+func (l *Linear) ClearCache() { l.cache = l.cache[:0] }
+
+// LeakyReLU is the elementwise activation max(x, alpha*x).
+type LeakyReLU struct {
+	Alpha float64
+	cache [][]float64
+}
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		if v >= 0 {
+			y[i] = v
+		} else {
+			y[i] = l.Alpha * v
+		}
+	}
+	l.cache = append(l.cache, x)
+	return y
+}
+
+// Backward implements Layer.
+func (l *LeakyReLU) Backward(dy []float64) []float64 {
+	n := len(l.cache)
+	x := l.cache[n-1]
+	l.cache = l.cache[:n-1]
+	dx := make([]float64, len(dy))
+	for i, v := range x {
+		if v >= 0 {
+			dx[i] = dy[i]
+		} else {
+			dx[i] = l.Alpha * dy[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// ClearCache implements Layer.
+func (l *LeakyReLU) ClearCache() { l.cache = l.cache[:0] }
+
+// Dropout zeroes each input with probability P during training, scaling
+// survivors by 1/(1-P). With Active=false it is the identity. Keeping it
+// active at generation time implements MC dropout, which GenDT uses for
+// its model-uncertainty measure (paper §6.2.1).
+type Dropout struct {
+	P      float64
+	Active bool
+	rng    *rand.Rand
+	cache  [][]bool
+}
+
+// NewDropout returns an active dropout layer with its own RNG stream.
+func NewDropout(p float64, rng *rand.Rand) *Dropout {
+	return &Dropout{P: p, Active: true, rng: rng}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x []float64) []float64 {
+	y := make([]float64, len(x))
+	mask := make([]bool, len(x))
+	if !d.Active || d.P <= 0 {
+		copy(y, x)
+		for i := range mask {
+			mask[i] = true
+		}
+		d.cache = append(d.cache, mask)
+		return y
+	}
+	keep := 1 - d.P
+	for i, v := range x {
+		if d.rng.Float64() < keep {
+			mask[i] = true
+			y[i] = v / keep
+		}
+	}
+	d.cache = append(d.cache, mask)
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(dy []float64) []float64 {
+	n := len(d.cache)
+	mask := d.cache[n-1]
+	d.cache = d.cache[:n-1]
+	dx := make([]float64, len(dy))
+	keep := 1 - d.P
+	for i := range dy {
+		if mask[i] {
+			if d.Active && d.P > 0 {
+				dx[i] = dy[i] / keep
+			} else {
+				dx[i] = dy[i]
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// ClearCache implements Layer.
+func (d *Dropout) ClearCache() { d.cache = d.cache[:0] }
+
+// MLP is a sequential stack of layers sharing the Layer cache discipline.
+type MLP struct {
+	Layers []Layer
+}
+
+// NewMLP builds a fully connected net with LeakyReLU activations between
+// the given layer sizes, e.g. sizes=[26, 64, 64, 4].
+func NewMLP(sizes []int, alpha float64, rng *rand.Rand) *MLP {
+	m := &MLP{}
+	for i := 0; i < len(sizes)-1; i++ {
+		m.Layers = append(m.Layers, NewLinear(sizes[i], sizes[i+1], rng))
+		if i < len(sizes)-2 {
+			m.Layers = append(m.Layers, NewLeakyReLU(alpha))
+		}
+	}
+	return m
+}
+
+// Forward implements Layer.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (m *MLP) Backward(dy []float64) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params implements Layer.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ClearCache implements Layer.
+func (m *MLP) ClearCache() {
+	for _, l := range m.Layers {
+		l.ClearCache()
+	}
+}
+
+// Sigmoid returns 1/(1+e^-x), numerically stabilized.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Tanh is math.Tanh, re-exported for symmetry.
+func Tanh(x float64) float64 { return math.Tanh(x) }

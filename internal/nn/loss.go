@@ -1,0 +1,65 @@
+package nn
+
+import "math"
+
+// MSELoss returns the mean squared error between pred and target and the
+// gradient w.r.t. pred.
+func MSELoss(pred, target []float64) (loss float64, grad []float64) {
+	grad = make([]float64, len(pred))
+	n := float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d
+		grad[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// BCEWithLogitsLoss returns the binary cross-entropy between a logit and a
+// {0,1} target, and the gradient w.r.t. the logit. This is the standard
+// GAN discriminator loss in numerically stable form.
+func BCEWithLogitsLoss(logit, target float64) (loss, grad float64) {
+	// loss = max(z,0) - z*t + log(1 + exp(-|z|))
+	z := logit
+	loss = math.Max(z, 0) - z*target + math.Log1p(math.Exp(-math.Abs(z)))
+	grad = Sigmoid(z) - target
+	return loss, grad
+}
+
+// GaussianSample draws mu + exp(logSigma)*eps with the provided standard
+// normal eps, returning the sample. With the reparameterization trick,
+// d(sample)/d(mu) = 1 and d(sample)/d(logSigma) = exp(logSigma)*eps.
+func GaussianSample(mu, logSigma, eps float64) float64 {
+	return mu + math.Exp(clampLogSigma(logSigma))*eps
+}
+
+// GaussianSampleGrad backpropagates dSample into (dMu, dLogSigma) for the
+// reparameterized sample above.
+func GaussianSampleGrad(dSample, logSigma, eps float64) (dMu, dLogSigma float64) {
+	return dSample, dSample * math.Exp(clampLogSigma(logSigma)) * eps
+}
+
+// GaussianNLL returns the negative log-likelihood of x under
+// N(mu, exp(logSigma)^2) plus its gradients w.r.t. mu and logSigma. GenDT's
+// ResGen head can be trained with this likelihood term.
+func GaussianNLL(x, mu, logSigma float64) (nll, dMu, dLogSigma float64) {
+	ls := clampLogSigma(logSigma)
+	sigma := math.Exp(ls)
+	z := (x - mu) / sigma
+	nll = 0.5*z*z + ls + 0.5*math.Log(2*math.Pi)
+	dMu = -z / sigma
+	dLogSigma = 1 - z*z
+	return nll, dMu, dLogSigma
+}
+
+// clampLogSigma bounds log-sigma to keep exponentials sane during early
+// training.
+func clampLogSigma(ls float64) float64 {
+	if ls < -6 {
+		return -6
+	}
+	if ls > 3 {
+		return 3
+	}
+	return ls
+}

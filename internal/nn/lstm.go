@@ -1,0 +1,287 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTM is a single-layer LSTM with full backpropagation through time and
+// optional stochastic h/c noise layers per the paper's §A.2. The usage
+// pattern is:
+//
+//	lstm.ResetState()
+//	for t := range seq { h[t] = lstm.Step(seq[t]) }
+//	dX := lstm.BackwardSeq(dH) // dH[t] is the gradient on h[t]
+//
+// Step caches everything BackwardSeq needs; BackwardSeq consumes the whole
+// cached sequence and clears it. Hidden state persists across Step calls
+// until ResetState, which lets callers carry long-term state across
+// batches (GenDT's batch generation).
+type LSTM struct {
+	In, Hidden int
+
+	// Gate parameters, stacked [input; forget; cell; output]:
+	// each gate has Hidden rows of (In + Hidden + 1) columns (x, h, bias).
+	W *Param
+
+	// Stochastic layer intensities (paper §A.2): 0 disables. Noise is
+	// uniform in [0, mean(h_t)] (resp. mean(c_t)) scaled by AH (AC) and
+	// renormalized to preserve the total hidden mass.
+	AH, AC float64
+	// NoiseActive toggles the stochastic layers (on for GenDT training and
+	// generation, off for deterministic baselines).
+	NoiseActive bool
+
+	rng *rand.Rand
+
+	h, c  []float64
+	steps []*lstmStep
+}
+
+type lstmStep struct {
+	x          []float64
+	hPrev      []float64 // post-noise h from previous step (input to gates)
+	cPrev      []float64
+	i, f, g, o []float64
+	c, h       []float64 // pre-noise outputs of this step
+	hScale     float64   // stochastic renormalization factors (1 when off)
+	cScale     float64
+}
+
+// NewLSTM allocates an LSTM. rng drives both weight init and the
+// stochastic layers.
+func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
+	cols := in + hidden + 1
+	l := &LSTM{
+		In: in, Hidden: hidden,
+		W:   NewParam(4*hidden*cols, XavierScale(in+hidden, hidden), rng),
+		rng: rng,
+	}
+	// Initialize forget-gate biases positive so memories persist early in
+	// training (standard practice).
+	for j := 0; j < hidden; j++ {
+		l.W.W[l.bIdx(1, j)] = 1
+	}
+	l.ResetState()
+	return l
+}
+
+// index helpers: gate in {0:i, 1:f, 2:g, 3:o}.
+func (l *LSTM) rowBase(gate, j int) int { return ((gate * l.Hidden) + j) * (l.In + l.Hidden + 1) }
+func (l *LSTM) bIdx(gate, j int) int    { return l.rowBase(gate, j) + l.In + l.Hidden }
+
+// ResetState zeroes the recurrent state (start of a new sequence).
+func (l *LSTM) ResetState() {
+	l.h = make([]float64, l.Hidden)
+	l.c = make([]float64, l.Hidden)
+}
+
+// State returns copies of the current hidden state and memory.
+func (l *LSTM) State() (h, c []float64) {
+	return append([]float64(nil), l.h...), append([]float64(nil), l.c...)
+}
+
+// SetState overwrites the recurrent state (e.g. to carry state across
+// generation batches).
+func (l *LSTM) SetState(h, c []float64) {
+	copy(l.h, h)
+	copy(l.c, c)
+}
+
+// Step advances one timestep and returns the (possibly noise-modulated)
+// hidden state.
+func (l *LSTM) Step(x []float64) []float64 {
+	if len(x) != l.In {
+		panic("nn: LSTM input dimension mismatch")
+	}
+	st := &lstmStep{
+		x:      x,
+		hPrev:  append([]float64(nil), l.h...),
+		cPrev:  append([]float64(nil), l.c...),
+		i:      make([]float64, l.Hidden),
+		f:      make([]float64, l.Hidden),
+		g:      make([]float64, l.Hidden),
+		o:      make([]float64, l.Hidden),
+		c:      make([]float64, l.Hidden),
+		h:      make([]float64, l.Hidden),
+		hScale: 1, cScale: 1,
+	}
+	cols := l.In + l.Hidden + 1
+	for j := 0; j < l.Hidden; j++ {
+		var z [4]float64
+		for gate := 0; gate < 4; gate++ {
+			base := ((gate * l.Hidden) + j) * cols
+			s := l.W.W[base+l.In+l.Hidden] // bias
+			row := l.W.W[base : base+l.In+l.Hidden]
+			for k, xv := range x {
+				s += row[k] * xv
+			}
+			for k, hv := range st.hPrev {
+				s += row[l.In+k] * hv
+			}
+			z[gate] = s
+		}
+		st.i[j] = Sigmoid(z[0])
+		st.f[j] = Sigmoid(z[1])
+		st.g[j] = math.Tanh(z[2])
+		st.o[j] = Sigmoid(z[3])
+		st.c[j] = st.f[j]*st.cPrev[j] + st.i[j]*st.g[j]
+		st.h[j] = st.o[j] * math.Tanh(st.c[j])
+	}
+
+	hOut := append([]float64(nil), st.h...)
+	cOut := append([]float64(nil), st.c...)
+	if l.NoiseActive && (l.AH > 0 || l.AC > 0) {
+		hOut, st.hScale = l.modulate(hOut, l.AH)
+		cOut, st.cScale = l.modulate(cOut, l.AC)
+	}
+	l.h = hOut
+	l.c = cOut
+	l.steps = append(l.steps, st)
+	return append([]float64(nil), hOut...)
+}
+
+// modulate applies the paper's §A.2 noise: v' = (v + a*n) * S(v)/S(v+a*n)
+// with n_i ~ U[0, mean(|v|)], renormalizing so the vector's total mass is
+// preserved. The paper normalizes by the signed sum; with tanh-activated
+// hidden states the signed sum can cancel to near zero and make the scale
+// explode, so we normalize by the absolute mass and cap the scale to
+// [0.5, 2] — same intent (mass-preserving noise), numerically stable. The
+// zero-mean noise is achieved by centring n around mean/2. It returns the
+// modulated vector and the effective linear scale used for the
+// (approximate) backward pass.
+func (l *LSTM) modulate(v []float64, a float64) ([]float64, float64) {
+	if a <= 0 {
+		return v, 1
+	}
+	mean := 0.0
+	for _, x := range v {
+		mean += math.Abs(x)
+	}
+	mean /= float64(len(v))
+	sumBefore, sumAfter := 0.0, 0.0
+	out := make([]float64, len(v))
+	for i, x := range v {
+		n := (l.rng.Float64() - 0.5) * mean // centred U[-mean/2, mean/2]
+		out[i] = x + a*n
+		sumBefore += math.Abs(x)
+		sumAfter += math.Abs(out[i])
+	}
+	scale := 1.0
+	if sumAfter > 1e-12 {
+		scale = sumBefore / sumAfter
+	}
+	if scale < 0.5 {
+		scale = 0.5
+	} else if scale > 2 {
+		scale = 2
+	}
+	for i := range out {
+		out[i] *= scale
+	}
+	return out, scale
+}
+
+// StepCache is an opaque detached sequence of cached LSTM steps, produced
+// by TakeSteps and consumed by BackwardSteps.
+type StepCache []*lstmStep
+
+// Len returns the number of steps in the cache.
+func (s StepCache) Len() int { return len(s) }
+
+// TakeSteps detaches and returns the cached steps of the sequence that was
+// just run, leaving the cache empty. This supports weight sharing across
+// multiple independent sequences (e.g. the GNN-node network applied to each
+// visible cell): run each sequence, TakeSteps after each, then call
+// BackwardSteps once per detached sequence; gradients accumulate.
+func (l *LSTM) TakeSteps() StepCache {
+	s := l.steps
+	l.steps = nil
+	return s
+}
+
+// BackwardSteps backpropagates through a detached step sequence from
+// TakeSteps. See BackwardSeq for the gradient conventions.
+func (l *LSTM) BackwardSteps(steps StepCache, dH [][]float64) [][]float64 {
+	saved := l.steps
+	l.steps = steps
+	dX := l.BackwardSeq(dH)
+	l.steps = saved
+	return dX
+}
+
+// BackwardSeq backpropagates through all cached steps. dH[t] is the
+// gradient w.r.t. the hidden output of step t (len(dH) must equal the
+// number of cached steps). It returns gradients w.r.t. the step inputs and
+// clears the cache. The stochastic layers are treated as a fixed linear
+// scaling during the backward pass (noise and renormalization factor held
+// constant), the same straight-through approximation used when training
+// with injected noise.
+func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
+	n := len(l.steps)
+	if len(dH) != n {
+		panic("nn: BackwardSeq gradient count mismatch")
+	}
+	cols := l.In + l.Hidden + 1
+	dX := make([][]float64, n)
+	dhNext := make([]float64, l.Hidden) // gradient flowing into h_t from t+1
+	dcNext := make([]float64, l.Hidden)
+	for t := n - 1; t >= 0; t-- {
+		st := l.steps[t]
+		dh := make([]float64, l.Hidden)
+		dc := make([]float64, l.Hidden)
+		for j := 0; j < l.Hidden; j++ {
+			// Output gradient plus recurrent gradient; both arrived at the
+			// post-noise h, so scale back through the modulation.
+			dh[j] = (dH[t][j] + dhNext[j]) * st.hScale
+			dc[j] = dcNext[j] * st.cScale
+		}
+		dx := make([]float64, l.In)
+		dhPrev := make([]float64, l.Hidden)
+		dcPrev := make([]float64, l.Hidden)
+		for j := 0; j < l.Hidden; j++ {
+			tanhC := math.Tanh(st.c[j])
+			do := dh[j] * tanhC
+			dcTotal := dc[j] + dh[j]*st.o[j]*(1-tanhC*tanhC)
+			di := dcTotal * st.g[j]
+			dg := dcTotal * st.i[j]
+			df := dcTotal * st.cPrev[j]
+			dcPrev[j] = dcTotal * st.f[j]
+
+			dzi := di * st.i[j] * (1 - st.i[j])
+			dzf := df * st.f[j] * (1 - st.f[j])
+			dzg := dg * (1 - st.g[j]*st.g[j])
+			dzo := do * st.o[j] * (1 - st.o[j])
+			dz := [4]float64{dzi, dzf, dzg, dzo}
+			for gate := 0; gate < 4; gate++ {
+				base := ((gate * l.Hidden) + j) * cols
+				row := l.W.W[base : base+l.In+l.Hidden]
+				grow := l.W.G[base : base+l.In+l.Hidden]
+				gz := dz[gate]
+				for k, xv := range st.x {
+					grow[k] += gz * xv
+					dx[k] += gz * row[k]
+				}
+				for k, hv := range st.hPrev {
+					grow[l.In+k] += gz * hv
+					dhPrev[k] += gz * row[l.In+k]
+				}
+				l.W.G[base+l.In+l.Hidden] += gz
+			}
+		}
+		dX[t] = dx
+		dhNext = dhPrev
+		dcNext = dcPrev
+	}
+	l.steps = l.steps[:0]
+	return dX
+}
+
+// StepCount returns the number of cached (un-backpropagated) steps.
+func (l *LSTM) StepCount() int { return len(l.steps) }
+
+// Params implements the parameter-holder convention.
+func (l *LSTM) Params() []*Param { return []*Param{l.W} }
+
+// ClearCache drops cached steps without backpropagating (generation mode).
+func (l *LSTM) ClearCache() { l.steps = l.steps[:0] }

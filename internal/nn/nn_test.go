@@ -1,0 +1,506 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericalGrad perturbs each weight of p and returns d(loss)/d(w) computed
+// by central differences of lossFn.
+func numericalGrad(p *Param, lossFn func() float64) []float64 {
+	const h = 1e-5
+	out := make([]float64, len(p.W))
+	for i := range p.W {
+		orig := p.W[i]
+		p.W[i] = orig + h
+		lp := lossFn()
+		p.W[i] = orig - h
+		lm := lossFn()
+		p.W[i] = orig
+		out[i] = (lp - lm) / (2 * h)
+	}
+	return out
+}
+
+func maxRelErr(analytic, numeric []float64) float64 {
+	worst := 0.0
+	for i := range analytic {
+		denom := math.Max(1e-6, math.Abs(analytic[i])+math.Abs(numeric[i]))
+		re := math.Abs(analytic[i]-numeric[i]) / denom
+		if re > worst {
+			worst = re
+		}
+	}
+	return worst
+}
+
+func TestLinearGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewLinear(4, 3, rng)
+	x := []float64{0.3, -0.2, 0.7, 0.1}
+	target := []float64{0.5, -0.5, 0.2}
+	lossFn := func() float64 {
+		l.ClearCache()
+		y := l.Forward(x)
+		loss, _ := MSELoss(y, target)
+		return loss
+	}
+	l.ClearCache()
+	y := l.Forward(x)
+	_, g := MSELoss(y, target)
+	l.Backward(g)
+	for _, p := range l.Params() {
+		num := numericalGrad(p, lossFn)
+		if re := maxRelErr(p.G, num); re > 1e-4 {
+			t.Errorf("Linear grad check failed: max rel err %v", re)
+		}
+		p.ZeroGrad()
+	}
+}
+
+func TestLinearInputGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewLinear(3, 2, rng)
+	x := []float64{0.1, 0.4, -0.3}
+	target := []float64{1, -1}
+	l.ClearCache()
+	y := l.Forward(x)
+	_, g := MSELoss(y, target)
+	dx := l.Backward(g)
+	const h = 1e-5
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + h
+		l.ClearCache()
+		lp, _ := MSELoss(l.Forward(x), target)
+		x[i] = orig - h
+		l.ClearCache()
+		lm, _ := MSELoss(l.Forward(x), target)
+		x[i] = orig
+		num := (lp - lm) / (2 * h)
+		if math.Abs(num-dx[i]) > 1e-6 {
+			t.Errorf("input grad %d: analytic %v numeric %v", i, dx[i], num)
+		}
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	l := NewLeakyReLU(0.1)
+	y := l.Forward([]float64{2, -2})
+	if y[0] != 2 || math.Abs(y[1]+0.2) > 1e-12 {
+		t.Fatalf("forward = %v", y)
+	}
+	dx := l.Backward([]float64{1, 1})
+	if dx[0] != 1 || dx[1] != 0.1 {
+		t.Fatalf("backward = %v", dx)
+	}
+}
+
+func TestDropoutInactiveIsIdentity(t *testing.T) {
+	d := NewDropout(0.5, rand.New(rand.NewSource(3)))
+	d.Active = false
+	x := []float64{1, 2, 3}
+	y := d.Forward(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatalf("inactive dropout changed input: %v", y)
+		}
+	}
+	dx := d.Backward([]float64{1, 1, 1})
+	for _, v := range dx {
+		if v != 1 {
+			t.Fatalf("inactive dropout changed gradient: %v", dx)
+		}
+	}
+}
+
+func TestDropoutPreservesExpectation(t *testing.T) {
+	d := NewDropout(0.3, rand.New(rand.NewSource(4)))
+	n := 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		y := d.Forward([]float64{1})
+		sum += y[0]
+		d.ClearCache()
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.05 {
+		t.Errorf("dropout expectation = %v, want ~1", mean)
+	}
+}
+
+func TestDropoutMCVariability(t *testing.T) {
+	d := NewDropout(0.5, rand.New(rand.NewSource(5)))
+	a := d.Forward([]float64{1, 1, 1, 1, 1, 1, 1, 1})
+	d.ClearCache()
+	b := d.Forward([]float64{1, 1, 1, 1, 1, 1, 1, 1})
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("MC dropout produced identical masks twice (improbable)")
+	}
+}
+
+func TestMLPGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := NewMLP([]int{3, 5, 2}, 0.1, rng)
+	x := []float64{0.2, -0.4, 0.9}
+	target := []float64{0.3, -0.8}
+	lossFn := func() float64 {
+		m.ClearCache()
+		loss, _ := MSELoss(m.Forward(x), target)
+		return loss
+	}
+	m.ClearCache()
+	_, g := MSELoss(m.Forward(x), target)
+	m.Backward(g)
+	for pi, p := range m.Params() {
+		num := numericalGrad(p, lossFn)
+		if re := maxRelErr(p.G, num); re > 1e-4 {
+			t.Errorf("MLP param %d grad check failed: %v", pi, re)
+		}
+		p.ZeroGrad()
+	}
+}
+
+func TestLSTMGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	l := NewLSTM(2, 3, rng)
+	seq := [][]float64{{0.5, -0.2}, {0.1, 0.9}, {-0.6, 0.3}}
+	targets := [][]float64{{0.1, 0, -0.1}, {0.2, -0.2, 0}, {0, 0.3, 0.1}}
+	lossFn := func() float64 {
+		l.ClearCache()
+		l.ResetState()
+		total := 0.0
+		for t := range seq {
+			h := l.Step(seq[t])
+			lo, _ := MSELoss(h, targets[t])
+			total += lo
+		}
+		return total
+	}
+	l.ClearCache()
+	l.ResetState()
+	dH := make([][]float64, len(seq))
+	for t := range seq {
+		h := l.Step(seq[t])
+		_, g := MSELoss(h, targets[t])
+		dH[t] = g
+	}
+	l.BackwardSeq(dH)
+	num := numericalGrad(l.W, lossFn)
+	if re := maxRelErr(l.W.G, num); re > 1e-3 {
+		t.Errorf("LSTM BPTT grad check failed: max rel err %v", re)
+	}
+}
+
+func TestLSTMInputGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	l := NewLSTM(2, 3, rng)
+	seq := [][]float64{{0.5, -0.2}, {0.1, 0.9}}
+	target := []float64{0.1, -0.1, 0.2}
+	run := func() ([]float64, [][]float64) {
+		l.ClearCache()
+		l.ResetState()
+		var h []float64
+		for t := range seq {
+			h = l.Step(seq[t])
+		}
+		_, g := MSELoss(h, target)
+		dH := [][]float64{make([]float64, 3), g}
+		return h, dH
+	}
+	_, dH := run()
+	dX := l.BackwardSeq(dH)
+	const h = 1e-5
+	for ts := range seq {
+		for i := range seq[ts] {
+			orig := seq[ts][i]
+			seq[ts][i] = orig + h
+			l.ClearCache()
+			l.ResetState()
+			var hv []float64
+			for tt := range seq {
+				hv = l.Step(seq[tt])
+			}
+			lp, _ := MSELoss(hv, target)
+			seq[ts][i] = orig - h
+			l.ClearCache()
+			l.ResetState()
+			for tt := range seq {
+				hv = l.Step(seq[tt])
+			}
+			lm, _ := MSELoss(hv, target)
+			seq[ts][i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-dX[ts][i]) > 1e-5 {
+				t.Errorf("input grad t=%d i=%d: analytic %v numeric %v", ts, i, dX[ts][i], num)
+			}
+		}
+	}
+}
+
+func TestLSTMStateCarryAndReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	l := NewLSTM(1, 4, rng)
+	l.Step([]float64{1})
+	h1, c1 := l.State()
+	l.ResetState()
+	h2, _ := l.State()
+	for i := range h2 {
+		if h2[i] != 0 {
+			t.Fatal("ResetState did not zero hidden state")
+		}
+	}
+	l.SetState(h1, c1)
+	h3, c3 := l.State()
+	for i := range h1 {
+		if h3[i] != h1[i] || c3[i] != c1[i] {
+			t.Fatal("SetState round trip failed")
+		}
+	}
+	l.ClearCache()
+}
+
+func TestLSTMStochasticLayersChangeOutput(t *testing.T) {
+	mk := func(noise bool, seed int64) []float64 {
+		rng := rand.New(rand.NewSource(10))
+		l := NewLSTM(1, 8, rng)
+		l.rng = rand.New(rand.NewSource(seed))
+		l.AH, l.AC = 2, 2
+		l.NoiseActive = noise
+		var h []float64
+		for i := 0; i < 5; i++ {
+			h = l.Step([]float64{0.5})
+		}
+		return h
+	}
+	quiet := mk(false, 1)
+	noisy1 := mk(true, 2)
+	noisy2 := mk(true, 3)
+	d01, d12 := 0.0, 0.0
+	for i := range quiet {
+		d01 += math.Abs(quiet[i] - noisy1[i])
+		d12 += math.Abs(noisy1[i] - noisy2[i])
+	}
+	if d01 == 0 {
+		t.Error("stochastic layer had no effect")
+	}
+	if d12 == 0 {
+		t.Error("different noise seeds produced identical outputs")
+	}
+}
+
+func TestLSTMModulatePreservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	l := NewLSTM(1, 6, rng)
+	v := []float64{0.5, -0.2, 0.3, 0.1, -0.4, 0.6}
+	mass := 0.0
+	for _, x := range v {
+		mass += math.Abs(x)
+	}
+	for trial := 0; trial < 50; trial++ {
+		out, scale := l.modulate(append([]float64(nil), v...), 2)
+		outMass := 0.0
+		for _, x := range out {
+			outMass += math.Abs(x)
+		}
+		// Mass is preserved up to the scale cap; it must never explode.
+		if outMass > 2.5*mass || outMass < mass/2.5 {
+			t.Fatalf("modulate mass %v vs original %v (scale %v)", outMass, mass, scale)
+		}
+		if scale < 0.5 || scale > 2 {
+			t.Fatalf("scale %v outside cap", scale)
+		}
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	p := NewParam(3, 1, rng)
+	opt := NewAdam(0.05)
+	target := []float64{1, -2, 0.5}
+	for step := 0; step < 2000; step++ {
+		for i := range p.W {
+			p.G[i] = 2 * (p.W[i] - target[i])
+		}
+		opt.Step([]*Param{p})
+	}
+	for i := range p.W {
+		if math.Abs(p.W[i]-target[i]) > 1e-3 {
+			t.Errorf("Adam did not converge: w[%d]=%v want %v", i, p.W[i], target[i])
+		}
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	p := &Param{W: make([]float64, 2), G: []float64{3, 4}, M: make([]float64, 2), V: make([]float64, 2)}
+	norm := ClipGrads([]*Param{p}, 1)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Errorf("pre-clip norm = %v, want 5", norm)
+	}
+	if math.Abs(p.G[0]-0.6) > 1e-12 || math.Abs(p.G[1]-0.8) > 1e-12 {
+		t.Errorf("clipped grads = %v", p.G)
+	}
+	// Below the cap: untouched.
+	p.G = []float64{0.1, 0.1}
+	ClipGrads([]*Param{p}, 1)
+	if p.G[0] != 0.1 {
+		t.Error("grads below cap were modified")
+	}
+}
+
+func TestBCEWithLogits(t *testing.T) {
+	// Large positive logit with target 1: near-zero loss.
+	loss, grad := BCEWithLogitsLoss(10, 1)
+	if loss > 0.001 || math.Abs(grad) > 0.001 {
+		t.Errorf("confident correct: loss=%v grad=%v", loss, grad)
+	}
+	// Wrong prediction: loss ~ |logit|.
+	loss, grad = BCEWithLogitsLoss(10, 0)
+	if loss < 9 || grad < 0.99 {
+		t.Errorf("confident wrong: loss=%v grad=%v", loss, grad)
+	}
+	// Gradient via central differences.
+	const h = 1e-6
+	lp, _ := BCEWithLogitsLoss(0.3+h, 1)
+	lm, _ := BCEWithLogitsLoss(0.3-h, 1)
+	_, g := BCEWithLogitsLoss(0.3, 1)
+	if math.Abs((lp-lm)/(2*h)-g) > 1e-5 {
+		t.Error("BCE gradient mismatch with numeric")
+	}
+}
+
+func TestGaussianSampleReparam(t *testing.T) {
+	eps := 0.7
+	s := GaussianSample(2, math.Log(3), eps)
+	if math.Abs(s-(2+3*0.7)) > 1e-9 {
+		t.Errorf("sample = %v", s)
+	}
+	dMu, dLS := GaussianSampleGrad(1, math.Log(3), eps)
+	if dMu != 1 || math.Abs(dLS-3*0.7) > 1e-9 {
+		t.Errorf("grads = %v, %v", dMu, dLS)
+	}
+}
+
+func TestGaussianNLLGradients(t *testing.T) {
+	const h = 1e-6
+	x, mu, ls := 1.3, 0.4, -0.2
+	_, dMu, dLS := GaussianNLL(x, mu, ls)
+	np, _, _ := GaussianNLL(x, mu+h, ls)
+	nm, _, _ := GaussianNLL(x, mu-h, ls)
+	if math.Abs((np-nm)/(2*h)-dMu) > 1e-4 {
+		t.Error("dMu mismatch")
+	}
+	np, _, _ = GaussianNLL(x, mu, ls+h)
+	nm, _, _ = GaussianNLL(x, mu, ls-h)
+	if math.Abs((np-nm)/(2*h)-dLS) > 1e-4 {
+		t.Error("dLogSigma mismatch")
+	}
+}
+
+func TestLSTMLearnsToRemember(t *testing.T) {
+	// Task: output at each step the first input of the sequence. Tests that
+	// BPTT propagates useful long-range gradient.
+	rng := rand.New(rand.NewSource(13))
+	l := NewLSTM(1, 12, rng)
+	out := NewLinear(12, 1, rng)
+	params := append(l.Params(), out.Params()...)
+	opt := NewAdam(0.01)
+	seqLen := 6
+	var lastLoss float64
+	for epoch := 0; epoch < 300; epoch++ {
+		first := rng.Float64()*2 - 1
+		l.ResetState()
+		l.ClearCache()
+		out.ClearCache()
+		dH := make([][]float64, seqLen)
+		total := 0.0
+		var outGrads [][]float64
+		for t := 0; t < seqLen; t++ {
+			x := 0.0
+			if t == 0 {
+				x = first
+			}
+			h := l.Step([]float64{x})
+			y := out.Forward(h)
+			loss, g := MSELoss(y, []float64{first})
+			total += loss
+			outGrads = append(outGrads, g)
+		}
+		for t := seqLen - 1; t >= 0; t-- {
+			dH[t] = out.Backward(outGrads[t])
+		}
+		l.BackwardSeq(dH)
+		ClipGrads(params, 5)
+		opt.Step(params)
+		lastLoss = total / float64(seqLen)
+	}
+	if lastLoss > 0.05 {
+		t.Errorf("LSTM failed to learn memory task: final loss %v", lastLoss)
+	}
+}
+
+func TestMismatchedDimsPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	l := NewLinear(2, 2, rng)
+	assertPanics(t, func() { l.Forward([]float64{1}) }, "Linear dim mismatch")
+	lstm := NewLSTM(2, 2, rng)
+	assertPanics(t, func() { lstm.Step([]float64{1, 2, 3}) }, "LSTM dim mismatch")
+	assertPanics(t, func() { l.Backward([]float64{1, 1}) }, "Backward without Forward")
+}
+
+func assertPanics(t *testing.T, f func(), name string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestLSTMTakeStepsSharedSequences(t *testing.T) {
+	// Two independent sequences through one shared LSTM must produce the
+	// same gradients as two separate passes summed.
+	rng := rand.New(rand.NewSource(15))
+	l := NewLSTM(1, 3, rng)
+	seqA := [][]float64{{0.2}, {0.5}}
+	seqB := [][]float64{{-0.3}, {0.7}}
+	target := []float64{0.1, 0.1, 0.1}
+
+	run := func(seq [][]float64) ([][]float64, []*lstmStep) {
+		l.ResetState()
+		dH := make([][]float64, len(seq))
+		for i := range seq {
+			h := l.Step(seq[i])
+			_, g := MSELoss(h, target)
+			dH[i] = g
+		}
+		return dH, l.TakeSteps()
+	}
+
+	// Shared pass: forward both, then backward both.
+	dHA, stepsA := run(seqA)
+	dHB, stepsB := run(seqB)
+	l.BackwardSteps(stepsA, dHA)
+	l.BackwardSteps(stepsB, dHB)
+	shared := append([]float64(nil), l.W.G...)
+	l.W.ZeroGrad()
+
+	// Separate passes summed.
+	dHA2, stepsA2 := run(seqA)
+	l.BackwardSteps(stepsA2, dHA2)
+	dHB2, stepsB2 := run(seqB)
+	l.BackwardSteps(stepsB2, dHB2)
+	for i := range shared {
+		if math.Abs(shared[i]-l.W.G[i]) > 1e-12 {
+			t.Fatalf("shared-sequence gradient mismatch at %d: %v vs %v", i, shared[i], l.W.G[i])
+		}
+	}
+	l.W.ZeroGrad()
+}

@@ -1,0 +1,120 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// to implement GenDT and its baselines: fully connected layers, LeakyReLU,
+// dropout (with MC-dropout support), an LSTM with full backpropagation
+// through time, the paper's stochastic h/c noise layers (§A.2), Gaussian
+// reparameterized sampling, MSE and GAN losses, and the Adam optimizer.
+//
+// Layers cache their forward activations on an internal stack; Backward
+// calls must mirror Forward calls in reverse order (last-in, first-out),
+// which supports weight sharing across timesteps and graph nodes (the
+// GNN-node network applies one network to every cell at every timestep).
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Param is one learnable tensor with its gradient and Adam moments.
+type Param struct {
+	W []float64 // weights
+	G []float64 // accumulated gradient
+	M []float64 // Adam first moment
+	V []float64 // Adam second moment
+}
+
+// NewParam allocates a parameter of n weights initialized uniformly in
+// [-scale, scale].
+func NewParam(n int, scale float64, rng *rand.Rand) *Param {
+	p := &Param{
+		W: make([]float64, n),
+		G: make([]float64, n),
+		M: make([]float64, n),
+		V: make([]float64, n),
+	}
+	for i := range p.W {
+		p.W[i] = (rng.Float64()*2 - 1) * scale
+	}
+	return p
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// XavierScale returns the Glorot-uniform initialization scale for a layer
+// with the given fan-in and fan-out.
+func XavierScale(fanIn, fanOut int) float64 {
+	return math.Sqrt(6.0 / float64(fanIn+fanOut))
+}
+
+// Adam is the Adam optimizer.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+}
+
+// NewAdam returns an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update to all params and zeroes their gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.t))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		for i := range p.W {
+			g := p.G[i]
+			p.M[i] = a.Beta1*p.M[i] + (1-a.Beta1)*g
+			p.V[i] = a.Beta2*p.V[i] + (1-a.Beta2)*g*g
+			mHat := p.M[i] / b1c
+			vHat := p.V[i] / b2c
+			p.W[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			p.G[i] = 0
+		}
+	}
+}
+
+// ClipGrads rescales the concatenated gradient of params to at most
+// maxNorm (global norm clipping). It returns the pre-clip norm.
+func ClipGrads(params []*Param, maxNorm float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.G {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		s := maxNorm / norm
+		for _, p := range params {
+			for i := range p.G {
+				p.G[i] *= s
+			}
+		}
+	}
+	return norm
+}
+
+// Layer is the interface shared by the trainable building blocks.
+type Layer interface {
+	// Forward consumes an input vector and returns the output, caching
+	// whatever Backward will need.
+	Forward(x []float64) []float64
+	// Backward consumes the gradient w.r.t. the last un-consumed Forward
+	// output and returns the gradient w.r.t. its input, accumulating
+	// parameter gradients.
+	Backward(dy []float64) []float64
+	// Params returns the layer's learnable parameters.
+	Params() []*Param
+	// ClearCache drops any cached activations (e.g. between batches).
+	ClearCache()
+}

@@ -1,0 +1,211 @@
+// Package plot renders the experiment figures as standalone SVG files
+// using only the standard library, so the reproduction produces actual
+// figure artifacts (line charts for time series and envelopes, step
+// charts for CDFs, bar charts for densities).
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Y      []float64
+	X      []float64 // optional; indices are used when nil
+	Dashed bool
+}
+
+// Chart is a simple 2-D line/step chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	W, H   int // pixel dimensions (default 720x360)
+	Step   bool
+	Series []Series
+}
+
+// palette cycles through distinguishable stroke colors.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b"}
+
+// SVG renders the chart.
+func (c Chart) SVG() string {
+	w, h := c.W, c.H
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 360
+	}
+	const mL, mR, mT, mB = 60, 16, 28, 42
+	plotW, plotH := float64(w-mL-mR), float64(h-mT-mB)
+
+	// Data extents.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i, y := range s.Y {
+			x := float64(i)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := (ymax - ymin) * 0.05
+	ymin, ymax = ymin-pad, ymax+pad
+
+	px := func(x float64) float64 { return float64(mL) + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return float64(mT) + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`+"\n", mL, esc(c.Title))
+
+	// Axes and gridlines.
+	for i := 0; i <= 4; i++ {
+		y := ymin + (ymax-ymin)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mL, py(y), w-mR, py(y))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.4g</text>`+"\n", mL-6, py(y)+4, y)
+	}
+	for i := 0; i <= 4; i++ {
+		x := xmin + (xmax-xmin)*float64(i)/4
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%.4g</text>`+"\n", px(x), h-mB+16, x)
+	}
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`+"\n", mL, h-mB, w-mR, h-mB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#444"/>`+"\n", mL, mT, mL, h-mB)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+		float64(mL)+plotW/2, h-6, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(mT)+plotH/2, float64(mT)+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		dash := ""
+		if s.Dashed {
+			dash = ` stroke-dasharray="5,3"`
+		}
+		var path strings.Builder
+		for i, y := range s.Y {
+			x := float64(i)
+			if s.X != nil {
+				x = s.X[i]
+			}
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			if c.Step && i > 0 {
+				prevY := s.Y[i-1]
+				fmt.Fprintf(&path, "L%.1f,%.1f ", px(x), py(prevY))
+			}
+			fmt.Fprintf(&path, "%s%.1f,%.1f ", cmd, px(x), py(y))
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5"%s/>`+"\n",
+			strings.TrimSpace(path.String()), color, dash)
+		// Legend entry.
+		lx, ly := w-mR-130, mT+14+si*16
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="2"%s/>`+"\n",
+			lx, ly-4, lx+18, ly-4, color, dash)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", lx+24, ly, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// Bar is one bar of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders labelled bars.
+type BarChart struct {
+	Title  string
+	YLabel string
+	W, H   int
+	Bars   []Bar
+}
+
+// SVG renders the bar chart.
+func (c BarChart) SVG() string {
+	w, h := c.W, c.H
+	if w == 0 {
+		w = 720
+	}
+	if h == 0 {
+		h = 360
+	}
+	const mL, mR, mT, mB = 60, 16, 28, 80
+	plotW, plotH := float64(w-mL-mR), float64(h-mT-mB)
+	ymax := 0.0
+	for _, bar := range c.Bars {
+		ymax = math.Max(ymax, bar.Value)
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	ymax *= 1.08
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-size="13" font-weight="bold">%s</text>`+"\n", mL, esc(c.Title))
+	for i := 0; i <= 4; i++ {
+		y := ymax * float64(i) / 4
+		yy := float64(mT) + (1-y/ymax)*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mL, yy, w-mR, yy)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%.3g</text>`+"\n", mL-6, yy+4, y)
+	}
+	n := len(c.Bars)
+	if n > 0 {
+		slot := plotW / float64(n)
+		bw := slot * 0.64
+		for i, bar := range c.Bars {
+			x := float64(mL) + slot*float64(i) + (slot-bw)/2
+			bh := bar.Value / ymax * plotH
+			y := float64(mT) + plotH - bh
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, y, bw, bh, palette[i%len(palette)])
+			cx := x + bw/2
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+				cx, h-mB+14, cx, h-mB+14, esc(bar.Label))
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%.3g</text>`+"\n", cx, y-4, bar.Value)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(mT)+plotH/2, float64(mT)+plotH/2, esc(c.YLabel))
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// WriteSVG writes any SVG string to a file.
+func WriteSVG(path, svg string) error {
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return fmt.Errorf("plot: %w", err)
+	}
+	return nil
+}
+
+func esc(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,88 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestChartSVGStructure(t *testing.T) {
+	c := Chart{
+		Title: "Test <chart>", XLabel: "t (s)", YLabel: "RSRP (dBm)",
+		Series: []Series{
+			{Name: "real", Y: []float64{-80, -85, -82, -90}},
+			{Name: "gen", Y: []float64{-81, -84, -83, -88}, Dashed: true},
+		},
+	}
+	svg := c.SVG()
+	for _, want := range []string{"<svg", "</svg>", "real", "gen", "RSRP (dBm)", "stroke-dasharray"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Contains(svg, "<chart>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "&lt;chart&gt;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestChartWithExplicitX(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "cdf", Y: []float64{0.25, 0.5, 1}, X: []float64{10, 20, 40}}},
+		Step:   true,
+	}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<path") {
+		t.Error("no path rendered")
+	}
+}
+
+func TestChartEmptySeriesNoPanic(t *testing.T) {
+	svg := Chart{Title: "empty"}.SVG()
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart must still render")
+	}
+}
+
+func TestChartConstantSeries(t *testing.T) {
+	svg := Chart{Series: []Series{{Name: "c", Y: []float64{5, 5, 5}}}}.SVG()
+	if !strings.Contains(svg, "<path") {
+		t.Error("constant series must render without dividing by zero")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := BarChart{
+		Title: "Density", YLabel: "cells/km2",
+		Bars: []Bar{{"Walk", 20}, {"Highway", 3}},
+	}
+	svg := c.SVG()
+	for _, want := range []string{"<rect", "Walk", "Highway", "cells/km2"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("bar SVG missing %q", want)
+		}
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	if svg := (BarChart{Title: "none"}).SVG(); !strings.Contains(svg, "</svg>") {
+		t.Error("empty bar chart must render")
+	}
+}
+
+func TestWriteSVG(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fig.svg")
+	if err := WriteSVG(path, Chart{Title: "x"}.SVG()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("file does not start with <svg")
+	}
+}

@@ -1,0 +1,153 @@
+package radio
+
+import "math"
+
+// KPI indices into a multi-channel KPI vector. The paper targets RSRP,
+// RSRQ, SINR, and CQI (§2.2); ServingCell is the additional channel used
+// for the handover use case (§6.3.2).
+const (
+	KPIRSRP = iota
+	KPIRSRQ
+	KPISINR
+	KPICQI
+	NumKPI // the 4 core KPIs
+
+	KPIServingCell = NumKPI // optional extra channel
+)
+
+// KPINames lists the KPI channel names in order.
+var KPINames = []string{"RSRP", "RSRQ", "SINR", "CQI"}
+
+// NRB is the number of LTE resource blocks assumed throughout (10 MHz).
+const NRB = 50
+
+// Typical KPI bounds used for clamping and normalization.
+const (
+	RSRPMin, RSRPMax = -140.0, -44.0 // dBm
+	RSRQMin, RSRQMax = -19.5, -3.0   // dB
+	SINRMin, SINRMax = -10.0, 30.0   // dB
+	CQIMin, CQIMax   = 1.0, 15.0     // index
+)
+
+// dbm2mw converts dBm to milliwatts.
+func dbm2mw(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// mw2dbm converts milliwatts to dBm.
+func mw2dbm(mw float64) float64 {
+	if mw <= 0 {
+		return -200
+	}
+	return 10 * math.Log10(mw)
+}
+
+// Link captures the instantaneous quantities of one candidate cell link.
+type Link struct {
+	CellID  int
+	RSRPdBm float64 // reference-signal received power from this cell
+	Load    float64 // cell's current traffic load in [0,1]
+}
+
+// DeriveKPIs computes RSSI, RSRQ, SINR, and CQI for the serving link among
+// the candidates, following the paper's §2.2 relations:
+//
+//	RSSI aggregates serving power across occupied REs plus co-channel
+//	interference (scaled by each interferer's load) plus noise;
+//	RSRQ = N_RB * RSRP / RSSI (in linear terms; a dB subtraction);
+//	SINR = serving power / (interference + noise);
+//	CQI is a quantized monotone map of SINR to 1..15.
+func DeriveKPIs(serving Link, others []Link, noiseDBm float64) (rssiDBm, rsrqDB, sinrDB, cqi float64) {
+	servMW := dbm2mw(serving.RSRPdBm)
+	noiseMW := dbm2mw(noiseDBm)
+	intfMW := 0.0
+	for _, o := range others {
+		if o.CellID == serving.CellID {
+			continue
+		}
+		// Interference proportional to the interferer's load: an empty cell
+		// transmits only reference symbols.
+		intfMW += dbm2mw(o.RSRPdBm) * (0.1 + 0.9*o.Load)
+	}
+	// RSSI measured over one OFDM symbol across 12*N_RB subcarriers: the
+	// serving cell occupies them proportionally to its own load.
+	occupied := 2.0 + 10.0*serving.Load // of 12 REs per RB, 2 are reference symbols
+	rssiMW := servMW*occupied*NRB + (intfMW+noiseMW)*12*NRB
+	rssiDBm = mw2dbm(rssiMW)
+
+	// RSRQ(dB) = 10log10(N_RB) + RSRP(dBm) - RSSI(dBm).
+	rsrqDB = 10*math.Log10(NRB) + serving.RSRPdBm - rssiDBm
+	rsrqDB = clamp(rsrqDB, RSRQMin, RSRQMax)
+
+	sinr := servMW * 12 * NRB / (intfMW*12*NRB + noiseMW*12*NRB)
+	sinrDB = clamp(10*math.Log10(sinr), SINRMin, SINRMax)
+
+	cqi = CQIFromSINR(sinrDB)
+	return rssiDBm, rsrqDB, sinrDB, cqi
+}
+
+// CQIFromSINR maps SINR in dB to the 1..15 CQI index using a standard
+// piecewise-linear approximation of the LTE CQI-SINR curve (~1.9 dB/CQI).
+func CQIFromSINR(sinrDB float64) float64 {
+	cqi := math.Round((sinrDB+6.7)/1.9) + 1
+	return clamp(cqi, CQIMin, CQIMax)
+}
+
+// SINRFromCQI is the approximate inverse of CQIFromSINR (midpoint of the
+// CQI bin), used by downstream models.
+func SINRFromCQI(cqi float64) float64 {
+	return (clamp(cqi, CQIMin, CQIMax)-1)*1.9 - 6.7
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampKPI clamps a value to the valid range of the given KPI channel.
+func ClampKPI(kpi int, v float64) float64 {
+	switch kpi {
+	case KPIRSRP:
+		return clamp(v, RSRPMin, RSRPMax)
+	case KPIRSRQ:
+		return clamp(v, RSRQMin, RSRQMax)
+	case KPISINR:
+		return clamp(v, SINRMin, SINRMax)
+	case KPICQI:
+		return clamp(math.Round(v), CQIMin, CQIMax)
+	default:
+		return v
+	}
+}
+
+// KPIRange returns the (min, max) bounds of a KPI channel for
+// normalization.
+func KPIRange(kpi int) (lo, hi float64) {
+	switch kpi {
+	case KPIRSRP:
+		return RSRPMin, RSRPMax
+	case KPIRSRQ:
+		return RSRQMin, RSRQMax
+	case KPISINR:
+		return SINRMin, SINRMax
+	case KPICQI:
+		return CQIMin, CQIMax
+	default:
+		return 0, 1
+	}
+}
+
+// Normalize maps a KPI value to [0, 1] by its channel range.
+func Normalize(kpi int, v float64) float64 {
+	lo, hi := KPIRange(kpi)
+	return (clamp(v, lo, hi) - lo) / (hi - lo)
+}
+
+// Denormalize maps a [0, 1] value back to the KPI's physical range.
+func Denormalize(kpi int, v float64) float64 {
+	lo, hi := KPIRange(kpi)
+	return lo + clamp(v, 0, 1)*(hi-lo)
+}

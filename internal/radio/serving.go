@@ -1,0 +1,106 @@
+package radio
+
+// ServingSelector implements A3-style serving-cell selection: a handover to
+// a neighbour is triggered only after the neighbour's RSRP exceeds the
+// serving cell's by HysteresisDB for TimeToTrigger consecutive samples.
+// This produces the realistic serving-cell dwell times and churn the paper
+// reports in Tables 1–2 and Figure 2.
+type ServingSelector struct {
+	HysteresisDB  float64
+	TimeToTrigger int // consecutive samples the A3 condition must hold
+
+	serving   int
+	candidate int
+	streak    int
+	attached  bool
+}
+
+// NewServingSelector returns a selector with the given A3 parameters.
+func NewServingSelector(hysteresisDB float64, ttt int) *ServingSelector {
+	if ttt < 1 {
+		ttt = 1
+	}
+	return &ServingSelector{HysteresisDB: hysteresisDB, TimeToTrigger: ttt, serving: -1, candidate: -1}
+}
+
+// Serving returns the current serving cell id, or -1 before first attach.
+func (s *ServingSelector) Serving() int {
+	if !s.attached {
+		return -1
+	}
+	return s.serving
+}
+
+// Step feeds one sample of candidate links and returns the serving cell id
+// after applying the handover logic, together with whether a handover
+// occurred at this step. links must be non-empty for attachment; with no
+// links the device stays on (or remains detached from) its previous cell.
+func (s *ServingSelector) Step(links []Link) (servingID int, handover bool) {
+	if len(links) == 0 {
+		return s.Serving(), false
+	}
+	best := links[0]
+	for _, l := range links[1:] {
+		if l.RSRPdBm > best.RSRPdBm {
+			best = l
+		}
+	}
+	if !s.attached {
+		s.serving = best.CellID
+		s.attached = true
+		s.candidate, s.streak = -1, 0
+		return s.serving, false
+	}
+	var servRSRP float64
+	found := false
+	for _, l := range links {
+		if l.CellID == s.serving {
+			servRSRP = l.RSRPdBm
+			found = true
+			break
+		}
+	}
+	if !found {
+		// Serving cell dropped out of the visible set: radio-link failure,
+		// immediate reattach to the strongest.
+		s.serving = best.CellID
+		s.candidate, s.streak = -1, 0
+		return s.serving, true
+	}
+	if best.CellID != s.serving && best.RSRPdBm > servRSRP+s.HysteresisDB {
+		if best.CellID == s.candidate {
+			s.streak++
+		} else {
+			s.candidate = best.CellID
+			s.streak = 1
+		}
+		if s.streak >= s.TimeToTrigger {
+			s.serving = best.CellID
+			s.candidate, s.streak = -1, 0
+			return s.serving, true
+		}
+	} else {
+		s.candidate, s.streak = -1, 0
+	}
+	return s.serving, false
+}
+
+// Reset detaches the selector so the next Step performs initial attachment.
+func (s *ServingSelector) Reset() {
+	s.serving, s.candidate, s.streak, s.attached = -1, -1, 0, false
+}
+
+// InterHandoverTimes extracts the durations (in samples multiplied by the
+// given interval) between consecutive serving-cell changes in a serving-cell
+// id series. The paper's Figure 13 plots the CDF of these times.
+func InterHandoverTimes(servingIDs []float64, interval float64) []float64 {
+	var out []float64
+	last := 0
+	for i := 1; i < len(servingIDs); i++ {
+		if servingIDs[i] != servingIDs[i-1] {
+			out = append(out, float64(i-last)*interval)
+			last = i
+		}
+	}
+	return out
+}

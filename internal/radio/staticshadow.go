@@ -1,0 +1,72 @@
+package radio
+
+import (
+	"math"
+
+	"gendt/internal/geo"
+)
+
+// StaticShadow is the location-dependent (repeatable) component of
+// log-normal shadowing: a smooth spatial Gaussian field per cell, produced
+// by value noise over a lattice with the given correlation length. Two
+// drive tests through the same spot against the same world see the same
+// static shadowing — it is caused by buildings and terrain — while the
+// per-run ShadowField adds the dynamic remainder. This split is what makes
+// radio KPIs partially predictable from context, as the paper's
+// measurements show (Figure 1: repeated runs differ, but share structure).
+type StaticShadow struct {
+	SigmaDB   float64
+	CorrM     float64 // lattice pitch ≈ correlation length
+	WorldSeed int64
+	proj      *geo.Projection
+}
+
+// NewStaticShadow builds a static shadow field anchored at origin.
+func NewStaticShadow(sigmaDB, corrM float64, worldSeed int64, origin geo.Point) *StaticShadow {
+	return &StaticShadow{
+		SigmaDB: sigmaDB, CorrM: corrM, WorldSeed: worldSeed,
+		proj: geo.NewProjection(origin),
+	}
+}
+
+// Sample returns the static shadowing in dB for the given cell at loc.
+func (s *StaticShadow) Sample(cellID int, loc geo.Point) float64 {
+	if s.SigmaDB <= 0 {
+		return 0
+	}
+	x, y := s.proj.ToXY(loc)
+	gx := math.Floor(x / s.CorrM)
+	gy := math.Floor(y / s.CorrM)
+	fx := x/s.CorrM - gx
+	fy := y/s.CorrM - gy
+	// Smoothstep weights for C1-continuous interpolation.
+	wx := fx * fx * (3 - 2*fx)
+	wy := fy * fy * (3 - 2*fy)
+	v00 := s.lattice(cellID, int64(gx), int64(gy))
+	v10 := s.lattice(cellID, int64(gx)+1, int64(gy))
+	v01 := s.lattice(cellID, int64(gx), int64(gy)+1)
+	v11 := s.lattice(cellID, int64(gx)+1, int64(gy)+1)
+	v := v00*(1-wx)*(1-wy) + v10*wx*(1-wy) + v01*(1-wx)*wy + v11*wx*wy
+	return s.SigmaDB * v
+}
+
+// lattice returns a deterministic ~N(0,1) value for a lattice corner,
+// derived from a 64-bit mix of (seed, cell, ix, iy).
+func (s *StaticShadow) lattice(cellID int, ix, iy int64) float64 {
+	h := uint64(s.WorldSeed)*0x9E3779B97F4A7C15 ^
+		uint64(cellID+1)*0xBF58476D1CE4E5B9 ^
+		uint64(ix)*0x94D049BB133111EB ^
+		uint64(iy)*0xD6E8FEB86659FD93
+	// splitmix64 finalizer.
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	// Sum of 4 uniforms -> approximately Gaussian (CLT), variance 4/12.
+	u1 := float64(h&0xFFFF) / 65536
+	u2 := float64((h>>16)&0xFFFF) / 65536
+	u3 := float64((h>>32)&0xFFFF) / 65536
+	u4 := float64((h>>48)&0xFFFF) / 65536
+	return (u1 + u2 + u3 + u4 - 2) / math.Sqrt(4.0/12.0)
+}
