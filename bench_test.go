@@ -13,6 +13,7 @@ package gendt
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -266,6 +267,75 @@ func BenchmarkModelGenerate(b *testing.B) {
 		if out := m.Generate(seq); len(out) != seq.Len() {
 			b.Fatal("bad generation")
 		}
+	}
+}
+
+// benchModelSetup prepares the quick-scale training set and config used by
+// the allocation/parallelism benchmarks (BENCH_train.json tracks these).
+func benchModelSetup(workers int) ([]*Sequence, *Sequence, Config) {
+	opt := benchOpt()
+	d := dataset.NewDatasetA(dataset.Spec{Seed: opt.Seed, Scale: opt.Scale})
+	chans := RSRPRSRQChannels()
+	train := PrepareAll(d.TrainRuns(), chans, opt.MaxCells)
+	cfg := Config{
+		Channels: chans, Hidden: opt.Hidden,
+		BatchLen: opt.BatchLen, StepLen: opt.StepLen,
+		MaxCells: opt.MaxCells, Epochs: 1, Seed: 1,
+		Workers: workers,
+	}
+	test := PrepareSequence(d.TestRuns()[0], chans, opt.MaxCells)
+	return train, test, cfg
+}
+
+// BenchmarkTrain measures one training epoch with the serial loop
+// (workers=1) and the data-parallel engine at full width.
+func BenchmarkTrain(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			train, _, cfg := benchModelSetup(workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := NewModel(cfg)
+				b.StartTimer()
+				m.Train(train, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkGenerate measures single-sequence generation on a trained model
+// (the serial hot path: per-step allocations dominate without pooling).
+func BenchmarkGenerate(b *testing.B) {
+	train, test, cfg := benchModelSetup(1)
+	m := NewModel(cfg)
+	m.Train(train, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := m.Generate(test); len(out) != test.Len() {
+			b.Fatal("bad generation")
+		}
+	}
+}
+
+// BenchmarkModelUncertainty measures the k-pass MC-dropout uncertainty,
+// serial vs fanned out across the worker pool.
+func BenchmarkModelUncertainty(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			train, test, cfg := benchModelSetup(workers)
+			m := NewModel(cfg)
+			m.Train(train, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if u := m.ModelUncertainty(test, 4); u < 0 {
+					b.Fatal("bad uncertainty")
+				}
+			}
+		})
 	}
 }
 

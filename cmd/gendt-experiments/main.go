@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	gendt-experiments [-scale quick|default] [-seed N] [experiment ...]
+//	gendt-experiments [-scale quick|default] [-seed N] [-workers N]
+//	                  [-cpuprofile F] [-memprofile F] [experiment ...]
 //
 // Experiments: table1 table2 fig1 fig4 fig16 table3 table4 table5 table6
 // table7 table8 fig9 fig10 fig11 table9 table10 table12 fig18, or "all".
@@ -14,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,7 +30,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	svgDir := flag.String("svg", "", "directory to also write figure SVGs (optional)")
 	epochs := flag.Int("epochs", 0, "override GenDT training epochs (0 = scale preset)")
+	workers := flag.Int("workers", -1, "data-parallel workers (-1 = scale preset, 0 = NumCPU, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	if *svgDir != "" {
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
@@ -50,6 +71,9 @@ func main() {
 	if *epochs > 0 {
 		opt.Epochs = *epochs
 	}
+	if *workers >= 0 {
+		opt.Workers = *workers
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
@@ -69,6 +93,23 @@ func main() {
 		}
 		fmt.Print(out)
 		fmt.Printf("(%s completed in %s)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// writeMemProfile records a post-GC heap profile (no-op when path is "").
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 

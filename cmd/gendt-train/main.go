@@ -5,12 +5,15 @@
 //
 //	gendt-train -out model.json [-dataset A|B] [-scale F] [-seed N]
 //	            [-channels rsrp,rsrq,sinr,cqi] [-epochs N] [-hidden N]
+//	            [-workers N] [-cpuprofile F] [-memprofile F]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gendt/internal/core"
@@ -28,7 +31,25 @@ func main() {
 	batchLen := flag.Int("batch", 24, "batch (window) length L")
 	stepLen := flag.Int("step", 6, "training window stride Δt")
 	maxCells := flag.Int("maxcells", 10, "visible-cell cap per step")
+	workers := flag.Int("workers", 0, "data-parallel training workers (0 = NumCPU, 1 = serial)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	var chans []core.ChannelSpec
 	for _, name := range strings.Split(*channels, ",") {
@@ -58,6 +79,7 @@ func main() {
 		Channels: chans,
 		Hidden:   *hidden, BatchLen: *batchLen, StepLen: *stepLen,
 		MaxCells: *maxCells, Epochs: *epochs, Seed: *seed,
+		Workers: *workers,
 	})
 	fmt.Println("training", m.String())
 	res := m.Train(seqs, func(f string, a ...any) { fmt.Printf(f+"\n", a...) })
@@ -67,6 +89,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("saved", *out)
+}
+
+// writeMemProfile records a post-GC heap profile (no-op when path is "").
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }
 
 func canonical(name string) string {

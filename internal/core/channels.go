@@ -11,6 +11,9 @@ package core
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"gendt/internal/dataset"
 	"gendt/internal/env"
@@ -224,12 +227,37 @@ func NormalizeEnv(raw []float64) []float64 {
 	return out
 }
 
-// PrepareAll prepares several runs at once.
+// PrepareAll prepares several runs at once. Preparation is pure per-run
+// work, so the runs are distributed over up to runtime.NumCPU() goroutines;
+// the result order matches the input order.
 func PrepareAll(runs []dataset.Run, chans []ChannelSpec, maxCells int) []*Sequence {
 	out := make([]*Sequence, len(runs))
-	for i, r := range runs {
-		out[i] = PrepareSequence(r, chans, maxCells)
+	W := runtime.NumCPU()
+	if W > len(runs) {
+		W = len(runs)
 	}
+	if W <= 1 {
+		for i, r := range runs {
+			out[i] = PrepareSequence(r, chans, maxCells)
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(runs) {
+					return
+				}
+				out[i] = PrepareSequence(runs[i], chans, maxCells)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

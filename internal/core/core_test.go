@@ -17,6 +17,7 @@ func tinyConfig(chans []ChannelSpec) Config {
 		Hidden:   10, NoiseDim: 2, ResNoise: 2, Lags: 2,
 		BatchLen: 12, StepLen: 6, MaxCells: 6,
 		Epochs: 2, LR: 3e-3, Seed: 1,
+		Workers: 1, // serial: unit tests assert exact serial-loop behaviour
 	}
 }
 

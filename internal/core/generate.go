@@ -1,5 +1,7 @@
 package core
 
+import "sync"
+
 // Generate synthesizes the normalized KPI series for a prepared (unseen)
 // trajectory sequence. Generation runs in non-overlapping batches of
 // length L (Δt = L, paper §4.3.3); within a batch the LSTMs capture the
@@ -29,7 +31,6 @@ func (m *Model) GenerateIndependent(seq *Sequence, batchLen int) [][]float64 {
 
 func (m *Model) generate(seq *Sequence, carryLags bool) [][]float64 {
 	cfg := m.Cfg
-	nch := len(cfg.Channels)
 	T := seq.Len()
 	m.SetNoise(true)
 	if m.res != nil {
@@ -39,44 +40,30 @@ func (m *Model) generate(seq *Sequence, carryLags bool) [][]float64 {
 		m.res.Dropout.Active = true
 	}
 	out := make([][]float64, 0, T)
-	gen := make([][]float64, 0, T) // autoregressive history for lags
 
 	for lo := 0; lo < T; lo += cfg.BatchLen {
 		L := cfg.BatchLen
 		if lo+L > T {
 			L = T - lo
 		}
-		teacher := gen
+		teacher := out
 		if !carryLags {
 			// Independent batches: no history crosses the boundary.
-			teacher = padHistory(gen, nch)
+			teacher = nil
 		}
-		fc := m.forwardGen(seq, lo, L, teacher)
-		for t := 0; t < L; t++ {
-			out = append(out, fc.out[t])
-			gen = append(gen, fc.out[t])
-		}
+		out = append(out, m.forwardGen(seq, lo, L, teacher)...)
 	}
 	return out
 }
 
-// padHistory returns a zeroed history of the same length, so independent
-// batches see no cross-boundary lags.
-func padHistory(gen [][]float64, nch int) [][]float64 {
-	out := make([][]float64, len(gen))
-	for i := range out {
-		out[i] = make([]float64, nch)
-	}
-	return out
-}
-
-// forwardGen mirrors forward but discards backward caches. LSTM state is
-// reset at each batch, matching the training regime (windows always start
-// from zero state).
-func (m *Model) forwardGen(seq *Sequence, lo, L int, teacher [][]float64) *forwardCache {
+// forwardGen mirrors forward but discards backward caches and returns
+// freshly allocated output rows (they escape into the generated series).
+// LSTM state is reset at each batch, matching the training regime (windows
+// always start from zero state). teacher is the generated history before
+// lo used for ResGen lags; nil means independent batches (zero history).
+func (m *Model) forwardGen(seq *Sequence, lo, L int, teacher [][]float64) [][]float64 {
 	cfg := m.Cfg
 	nch := len(cfg.Channels)
-	fc := &forwardCache{L: L, nch: nch}
 
 	maxSlots := 0
 	for t := 0; t < L; t++ {
@@ -87,72 +74,103 @@ func (m *Model) forwardGen(seq *Sequence, lo, L int, teacher [][]float64) *forwa
 	if maxSlots == 0 {
 		maxSlots = 1
 	}
-	hPerStep := make([][][]float64, L)
-	fc.nCells = make([]int, L)
+	// Per-step mean node embedding, accumulated in slot order. The sums
+	// must fold in during the slot loop: Step outputs are pooled buffers
+	// that ClearCache recycles at the end of each slot pass.
+	hAvg := rows(m.fc.hAvg, &m.hAvgArena, L, cfg.Hidden)
+	m.fc.hAvg = hAvg
+	nCells := m.fc.nCells
+	if cap(nCells) < L {
+		nCells = make([]int, L)
+	}
+	nCells = nCells[:L]
+	m.fc.nCells = nCells
+	for t := range nCells {
+		nCells[t] = 0
+	}
+	if m.zeroCell == nil {
+		m.zeroCell = make([]float64, cfg.CellDim())
+	}
 	for slot := 0; slot < maxSlots; slot++ {
 		m.node.ResetState()
 		for t := 0; t < L; t++ {
 			cellsAtT := seq.Cells[lo+t]
-			var attrs []float64
+			attrs := m.zeroCell
 			if slot < len(cellsAtT) {
 				attrs = cellsAtT[slot]
-			} else {
-				attrs = make([]float64, cfg.CellDim())
 			}
-			in := make([]float64, 0, cfg.CellDim()+cfg.NoiseDim)
-			in = append(in, attrs...)
+			in := append(m.inBuf[:0], attrs...)
 			for z := 0; z < cfg.NoiseDim; z++ {
 				in = append(in, 0.1*m.rng.NormFloat64())
 			}
+			m.inBuf = in
 			h := m.node.Step(in)
 			if slot < len(cellsAtT) || (len(cellsAtT) == 0 && slot == 0) {
-				hPerStep[t] = append(hPerStep[t], h)
+				sum := hAvg[t]
+				for j, v := range h {
+					sum[j] += v
+				}
+				nCells[t]++
 			}
 		}
 		m.node.ClearCache()
 	}
 
-	fc.hAvg = make([][]float64, L)
-	fc.base = make([][]float64, L)
-	fc.out = make([][]float64, L)
+	// Output rows escape to the caller: one fresh backing block per batch.
+	backing := make([]float64, L*nch)
+	out := make([][]float64, L)
+	if len(m.lagBuf) != cfg.Lags*nch {
+		m.lagBuf = make([]float64, cfg.Lags*nch)
+	}
 	m.agg.ResetState()
 	for t := 0; t < L; t++ {
-		avg := make([]float64, cfg.Hidden)
-		n := len(hPerStep[t])
-		fc.nCells[t] = n
-		if n > 0 {
-			for _, h := range hPerStep[t] {
-				for j, v := range h {
-					avg[j] += v
-				}
-			}
+		avg := hAvg[t]
+		if n := nCells[t]; n > 0 {
 			for j := range avg {
 				avg[j] /= float64(n)
 			}
 		}
-		fc.hAvg[t] = avg
 		ha := m.agg.Step(avg)
-		fc.base[t] = m.aggOut.Forward(ha)
-		out := append([]float64(nil), fc.base[t]...)
+		base := m.aggOut.Forward(ha)
+		o := backing[t*nch : (t+1)*nch]
+		copy(o, base)
 		if m.res != nil {
-			history := make([][]float64, 0, lo+t)
-			history = append(history, teacher...)
-			history = append(history, fc.out[:t]...)
-			lags := BuildLags(history, lo+t, cfg.Lags, nch)
+			// Lags over the combined (teacher ++ out[:t]) history, read in
+			// place: absolute source index src < lo comes from the teacher
+			// series, src >= lo from this batch's own output.
+			lags := m.lagBuf
+			for i := range lags {
+				lags[i] = 0
+			}
+			for l := 0; l < cfg.Lags; l++ {
+				src := lo + t - cfg.Lags + l
+				if src < 0 {
+					continue
+				}
+				dst := lags[l*nch : (l+1)*nch]
+				if src < lo {
+					if teacher != nil {
+						copy(dst, teacher[src])
+					}
+				} else {
+					copy(dst, out[src-lo])
+				}
+			}
 			ro := m.res.Forward(seq.Env[lo+t], lags)
 			for c := 0; c < nch; c++ {
-				out[c] += ro.Sample[c]
+				o[c] += ro.Sample[c]
 			}
 			m.res.ClearCache()
+			m.res.recycle(ro)
 		}
-		for c := range out {
-			out[c] = clamp01(out[c])
+		for c := range o {
+			o[c] = clamp01(o[c])
 		}
-		fc.out[t] = out
+		out[t] = o
 	}
 	m.agg.ClearCache()
 	m.aggOut.ClearCache()
-	return fc
+	return out
 }
 
 func clamp01(v float64) float64 {
@@ -179,14 +197,62 @@ func (m *Model) DenormalizeSeries(norm [][]float64) [][]float64 {
 	return out
 }
 
+// fanOut runs n independent generation-side work items across the model's
+// worker pool. Each item gets a deterministic seed drawn upfront from the
+// primary RNG and a fresh model clone, so the set of outputs depends only
+// on the model state and seed — not on Workers or goroutine scheduling.
+// With Workers <= 1 (or a single item) the items instead run serially on
+// the model itself, preserving the original single-RNG-stream behaviour.
+func (m *Model) fanOut(n int, serial func(i int), parallelItem func(rep *Model, i int)) {
+	W := m.Cfg.Workers
+	if W > n {
+		W = n
+	}
+	if W <= 1 {
+		for i := 0; i < n; i++ {
+			serial(i)
+		}
+		return
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = m.rng.Int63()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += W {
+				rep := m.Clone(seeds[i])
+				parallelItem(rep, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// GenerateAll generates the normalized series for every sequence, fanning
+// the sequences out across Cfg.Workers parallel model clones. With
+// Workers <= 1 it is equivalent to calling Generate on each sequence in
+// order.
+func (m *Model) GenerateAll(seqs []*Sequence) [][][]float64 {
+	out := make([][][]float64, len(seqs))
+	m.fanOut(len(seqs),
+		func(i int) { out[i] = m.Generate(seqs[i]) },
+		func(rep *Model, i int) { out[i] = rep.Generate(seqs[i]) })
+	return out
+}
+
 // GenerateN draws n independent generation samples for the sequence and
 // returns them denormalized as [n][channel][t] — the basis for the
-// min/max envelopes of the paper's Figure 9.
+// min/max envelopes of the paper's Figure 9. The samples are drawn across
+// Cfg.Workers parallel model clones.
 func (m *Model) GenerateN(seq *Sequence, n int) [][][]float64 {
 	out := make([][][]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = m.DenormalizeSeries(m.Generate(seq))
-	}
+	m.fanOut(n,
+		func(i int) { out[i] = m.DenormalizeSeries(m.Generate(seq)) },
+		func(rep *Model, i int) { out[i] = rep.DenormalizeSeries(rep.Generate(seq)) })
 	return out
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"runtime"
 
 	"gendt/internal/nn"
 )
@@ -29,6 +30,15 @@ type Config struct {
 	ClipNorm float64 // gradient clipping
 	LagNoise float64 // noise added to teacher-forced ResGen lags in training
 	Seed     int64
+
+	// Workers sets the data-parallel width of training and of the
+	// embarrassingly parallel inference paths (GenerateAll, GenerateN,
+	// ModelUncertainty). 0 defaults to runtime.NumCPU(). Workers=1
+	// reproduces the original serial training loop bit-for-bit; Workers=N
+	// trains with worker-replica gradient accumulation over mini-batches
+	// of N windows (deterministic for a fixed Seed and N — see DESIGN.md,
+	// "Parallel training engine").
+	Workers int
 
 	// LoadAware extends the per-cell context with the instantaneous cell
 	// load (closed-loop extension, paper §7.2). Sequences must then be
@@ -106,6 +116,9 @@ func (c Config) withDefaults() Config {
 		// time (mitigates autoregressive exposure bias).
 		c.LagNoise = 0.05
 	}
+	if c.Workers == 0 {
+		c.Workers = runtime.NumCPU()
+	}
 	if c.NoBatch {
 		c.StepLen = c.BatchLen
 	}
@@ -134,6 +147,23 @@ type Model struct {
 	discOpt *nn.Adam
 
 	rng *rand.Rand
+
+	// Reusable per-window scratch. A Model is not safe for concurrent use;
+	// the data-parallel paths give each worker its own Clone instead of
+	// locking.
+	fc        forwardCache
+	hAvgArena []float64   // backing storage for fc.hAvg rows
+	outArena  []float64   // backing storage for fc.out rows (training only)
+	zeroCell  []float64   // absent-cell attribute vector
+	inBuf     []float64   // node/discriminator step input assembly
+	lagBuf    []float64   // ResGen lag assembly
+	dNodeH    [][]float64 // per-slot node gradient rows
+	dNodeAren []float64   // backing storage for dNodeH
+	dHaRows   [][]float64 // aggregation-head gradient row headers
+	dHdisc    [][]float64 // discriminator BPTT gradient row headers
+	zeroH     []float64   // shared all-zero hidden gradient row
+	dLogit    []float64   // 1-element discriminator logit gradient
+	dxRows    [][]float64 // discBackward x-gradient headers
 }
 
 // NewModel constructs a GenDT model from the config.
@@ -160,6 +190,39 @@ func NewModel(cfg Config) *Model {
 	m.genOpt = nn.NewAdam(cfg.LR)
 	m.discOpt = nn.NewAdam(cfg.DiscLR)
 	return m
+}
+
+// Clone returns a deep copy of the model — parameters, optimizer state,
+// and configuration — with fresh caches and an independent RNG seeded by
+// seed. Clones share no mutable state with the original, so they can run
+// forward/backward passes concurrently; the data-parallel trainer and the
+// parallel generation/uncertainty paths are built on this.
+func (m *Model) Clone(seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Model{Cfg: m.Cfg, rng: rng}
+	c.node = m.node.Clone(rng)
+	c.agg = m.agg.Clone(rng)
+	c.aggOut = m.aggOut.Clone()
+	if m.res != nil {
+		c.res = m.res.Clone(rng)
+	}
+	c.disc = m.disc.Clone(rng)
+	c.discOut = m.discOut.Clone()
+	c.genOpt = m.genOpt.Clone()
+	c.discOpt = m.discOpt.Clone()
+	return c
+}
+
+// workerSeed derives a deterministic, well-separated RNG seed for worker w
+// from the model seed (splitmix64 finalizer over the worker index).
+func workerSeed(seed int64, w int) int64 {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(w+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
 }
 
 // genParams returns all generator parameters.

@@ -50,6 +50,7 @@ type cfgSnap struct {
 	NoResGen  bool    `json:"no_resgen"`
 	NoSRNN    bool    `json:"no_srnn"`
 	Seed      int64   `json:"seed"`
+	Workers   int     `json:"workers,omitempty"`
 }
 
 // allParams returns generator plus discriminator parameters in a stable
@@ -69,6 +70,7 @@ func (m *Model) Save(w io.Writer) error {
 			AH: m.Cfg.AH, AC: m.Cfg.AC, DropoutP: m.Cfg.DropoutP,
 			LoadAware: m.Cfg.LoadAware,
 			NoResGen:  m.Cfg.NoResGen, NoSRNN: m.Cfg.NoSRNN, Seed: m.Cfg.Seed,
+			Workers: m.Cfg.Workers,
 		},
 	}
 	for _, ch := range m.Cfg.Channels {
@@ -123,6 +125,7 @@ func Load(r io.Reader) (*Model, error) {
 		AH: c.AH, AC: c.AC, DropoutP: c.DropoutP,
 		LoadAware: c.LoadAware,
 		NoResGen:  c.NoResGen, NoSRNN: c.NoSRNN, Seed: c.Seed,
+		Workers: c.Workers,
 	})
 	params := m.allParams()
 	if len(params) != len(snap.Params) {

@@ -23,6 +23,14 @@ type ResGen struct {
 	head    *nn.Linear // 2*nch outputs: per-channel (mu, logSigma)
 
 	rng *rand.Rand
+
+	// Pools for the per-timestep hot path. Input rows are recycled by
+	// Backward/ClearCache; ResOut records only when explicitly recycled
+	// (training Backward and the generation loop), because uncertainty
+	// callers retain Mu/LogSigma past ClearCache.
+	inFree, inUsed [][]float64
+	roFree         []*ResOut
+	dOutBuf        []float64
 }
 
 // NewResGen builds a ResGen for the config.
@@ -51,6 +59,18 @@ func NewResGen(cfg Config, rng *rand.Rand) *ResGen {
 	return r
 }
 
+// Clone returns a ResGen with deep-copied parameters and empty caches,
+// drawing its noise and dropout masks from rng.
+func (r *ResGen) Clone(rng *rand.Rand) *ResGen {
+	return &ResGen{
+		nch: r.nch, lags: r.lags, noiseDim: r.noiseDim,
+		body:    r.body.Clone(rng),
+		Dropout: r.Dropout.Clone(rng),
+		head:    r.head.Clone(),
+		rng:     rng,
+	}
+}
+
 // ResBound soft-limits the residual magnitude (normalized units): the
 // residual models stochastic variation around the context-driven base
 // series, not the trend itself, and an unbounded autoregressive residual
@@ -73,22 +93,23 @@ type ResOut struct {
 // generation), most recent last; missing history should be zero-padded by
 // the caller.
 func (r *ResGen) Forward(envCtx, lags []float64) *ResOut {
-	in := make([]float64, 0, len(envCtx)+r.noiseDim+len(lags))
+	var in []float64
+	if n := len(r.inFree); n > 0 {
+		in = r.inFree[n-1][:0]
+		r.inFree = r.inFree[:n-1]
+	} else {
+		in = make([]float64, 0, len(envCtx)+r.noiseDim+len(lags))
+	}
 	in = append(in, envCtx...)
 	for i := 0; i < r.noiseDim; i++ {
 		in = append(in, r.rng.NormFloat64())
 	}
 	in = append(in, lags...)
+	r.inUsed = append(r.inUsed, in)
 	h := r.body.Forward(in)
 	h = r.Dropout.Forward(h)
 	out := r.head.Forward(h)
-	ro := &ResOut{
-		Sample:   make([]float64, r.nch),
-		Mu:       make([]float64, r.nch),
-		LogSigma: make([]float64, r.nch),
-		eps:      make([]float64, r.nch),
-		dBound:   make([]float64, r.nch),
-	}
+	ro := r.getOut()
 	for c := 0; c < r.nch; c++ {
 		ro.Mu[c] = out[c]
 		ro.LogSigma[c] = out[r.nch+c]
@@ -106,7 +127,10 @@ func (r *ResGen) Forward(envCtx, lags []float64) *ResOut {
 // parameter gradients. Input gradients (env/noise/lags) are discarded:
 // the lags are treated as constants (teacher forcing detaches them).
 func (r *ResGen) Backward(ro *ResOut, dSample []float64) {
-	dOut := make([]float64, 2*r.nch)
+	if r.dOutBuf == nil {
+		r.dOutBuf = make([]float64, 2*r.nch)
+	}
+	dOut := r.dOutBuf
 	for c := 0; c < r.nch; c++ {
 		dRaw := dSample[c] * ro.dBound[c]
 		dMu, dLS := nn.GaussianSampleGrad(dRaw, ro.LogSigma[c], ro.eps[c])
@@ -116,7 +140,35 @@ func (r *ResGen) Backward(ro *ResOut, dSample []float64) {
 	dh := r.head.Backward(dOut)
 	dh = r.Dropout.Backward(dh)
 	r.body.Backward(dh)
+	// The input row cached for this Forward (LIFO) and the consumed output
+	// record are both dead now.
+	if n := len(r.inUsed); n > 0 {
+		r.inFree = append(r.inFree, r.inUsed[n-1])
+		r.inUsed = r.inUsed[:n-1]
+	}
+	r.recycle(ro)
 }
+
+// getOut pops a pooled output record or allocates one. Every field is
+// overwritten by Forward, so no zeroing is needed.
+func (r *ResGen) getOut() *ResOut {
+	if n := len(r.roFree); n > 0 {
+		ro := r.roFree[n-1]
+		r.roFree = r.roFree[:n-1]
+		return ro
+	}
+	return &ResOut{
+		Sample:   make([]float64, r.nch),
+		Mu:       make([]float64, r.nch),
+		LogSigma: make([]float64, r.nch),
+		eps:      make([]float64, r.nch),
+		dBound:   make([]float64, r.nch),
+	}
+}
+
+// recycle returns an output record to the pool. Callers that retain
+// Mu/LogSigma (the uncertainty measures) simply never recycle.
+func (r *ResGen) recycle(ro *ResOut) { r.roFree = append(r.roFree, ro) }
 
 // Params returns the learnable parameters.
 func (r *ResGen) Params() []*nn.Param {
@@ -130,12 +182,22 @@ func (r *ResGen) ClearCache() {
 	r.body.ClearCache()
 	r.Dropout.ClearCache()
 	r.head.ClearCache()
+	r.inFree = append(r.inFree, r.inUsed...)
+	r.inUsed = r.inUsed[:0]
 }
 
 // BuildLags assembles the lag vector for timestep t from a [T][nch] series,
 // zero-padding before the sequence start.
 func BuildLags(series [][]float64, t, lags, nch int) []float64 {
-	out := make([]float64, lags*nch)
+	return BuildLagsInto(make([]float64, lags*nch), series, t, lags, nch)
+}
+
+// BuildLagsInto is BuildLags writing into a caller-provided buffer of
+// length lags*nch (the hot paths reuse one buffer across timesteps).
+func BuildLagsInto(out []float64, series [][]float64, t, lags, nch int) []float64 {
+	for i := range out {
+		out[i] = 0
+	}
 	for l := 0; l < lags; l++ {
 		src := t - lags + l
 		if src < 0 {

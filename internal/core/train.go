@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"gendt/internal/nn"
 )
@@ -26,7 +27,9 @@ func (m *Model) windows(seqs []*Sequence) []window {
 }
 
 // forwardCache holds everything one generator forward pass over a window
-// produces, for use by the backward pass.
+// produces, for use by the backward pass. During training it is the
+// model's reusable scratch (one window in flight at a time); generation
+// builds a fresh one per batch because the outputs escape to the caller.
 type forwardCache struct {
 	L, nch  int
 	nCells  []int          // visible-cell count per step
@@ -37,22 +40,52 @@ type forwardCache struct {
 	out     [][]float64    // [L][nch] final generated (normalized)
 }
 
-// forward runs the generator over L steps of seq starting at lo. teacher
-// gives the series used for ResGen lags (the real series during training;
-// the generated history during generation). When train is false the caches
-// needed for backward are still built but can be discarded with clearCaches.
+// rows re-slices a [rows][width] matrix over a shared arena, reusing the
+// previous backing storage when large enough. The arena is zeroed.
+func rows(hdr [][]float64, arena *[]float64, n, width int) [][]float64 {
+	need := n * width
+	if cap(*arena) < need {
+		*arena = make([]float64, need)
+	}
+	a := (*arena)[:need]
+	for i := range a {
+		a[i] = 0
+	}
+	*arena = a
+	if cap(hdr) < n {
+		hdr = make([][]float64, n)
+	}
+	hdr = hdr[:n]
+	for i := 0; i < n; i++ {
+		hdr[i] = a[i*width : (i+1)*width]
+	}
+	return hdr
+}
+
+// hdrs resizes a row-header slice without touching row contents.
+func hdrs(hdr [][]float64, n int) [][]float64 {
+	if cap(hdr) < n {
+		return make([][]float64, n)
+	}
+	return hdr[:n]
+}
+
+// forward runs the generator over L steps of seq starting at lo, into the
+// model's scratch cache. teacher gives the series used for ResGen lags
+// (the real series during training; the generated history during
+// generation). The per-step mean node embedding is accumulated in slot
+// order, exactly matching the summation order of the original
+// list-then-average implementation, so results are bit-identical.
 func (m *Model) forward(seq *Sequence, lo, L int, teacher [][]float64) *forwardCache {
 	cfg := m.Cfg
 	nch := len(cfg.Channels)
-	fc := &forwardCache{L: L, nch: nch}
+	fc := &m.fc
+	fc.L, fc.nch = L, nch
 
 	// Per-cell GNN-node passes. Each visible cell at this window gets its
 	// own LSTM rollout over the L steps; cells are identified positionally
 	// per step (the visible set varies over time, so we roll the network
 	// over each step's cell list and average — a mean-aggregation GNN).
-	// For tractability the node rollout is per-step: node state is reset
-	// per cell per window, and each cell contributes its embedding at each
-	// step it is visible.
 	//
 	// Implementation: we process "cell slots". Slot i at step t carries the
 	// i-th nearest visible cell. Slot sequences run the shared node LSTM
@@ -67,30 +100,39 @@ func (m *Model) forward(seq *Sequence, lo, L int, teacher [][]float64) *forwardC
 	if maxSlots == 0 {
 		maxSlots = 1
 	}
-	hPerStep := make([][][]float64, L) // [t][slot][H]
-	for t := range hPerStep {
-		hPerStep[t] = make([][]float64, 0, maxSlots)
+	if cap(fc.nCells) < L {
+		fc.nCells = make([]int, L)
 	}
-	fc.nCells = make([]int, L)
+	fc.nCells = fc.nCells[:L]
+	for t := range fc.nCells {
+		fc.nCells[t] = 0
+	}
+	fc.nodeSeq = fc.nodeSeq[:0]
+	fc.hAvg = rows(fc.hAvg, &m.hAvgArena, L, cfg.Hidden)
+	if m.zeroCell == nil {
+		m.zeroCell = make([]float64, cfg.CellDim())
+	}
 	for slot := 0; slot < maxSlots; slot++ {
 		m.node.ResetState()
 		for t := 0; t < L; t++ {
 			cellsAtT := seq.Cells[lo+t]
-			var attrs []float64
+			attrs := m.zeroCell // absent cell: zero attrs
 			if slot < len(cellsAtT) {
 				attrs = cellsAtT[slot]
-			} else {
-				attrs = make([]float64, cfg.CellDim()) // absent cell: zero attrs
 			}
-			in := make([]float64, 0, cfg.CellDim()+cfg.NoiseDim)
-			in = append(in, attrs...)
+			in := append(m.inBuf[:0], attrs...)
 			for z := 0; z < cfg.NoiseDim; z++ {
 				// z0 denoising noise (paper §4.3.1).
 				in = append(in, 0.1*m.rng.NormFloat64())
 			}
+			m.inBuf = in
 			h := m.node.Step(in)
 			if slot < len(cellsAtT) || (len(cellsAtT) == 0 && slot == 0) {
-				hPerStep[t] = append(hPerStep[t], h)
+				sum := fc.hAvg[t]
+				for j, v := range h {
+					sum[j] += v
+				}
+				fc.nCells[t]++
 			}
 		}
 		fc.nodeSeq = append(fc.nodeSeq, m.node.TakeSteps())
@@ -98,25 +140,15 @@ func (m *Model) forward(seq *Sequence, lo, L int, teacher [][]float64) *forwardC
 
 	// Aggregation: mean of slot embeddings per step -> aggregation LSTM ->
 	// linear head, giving the context-driven base series.
-	fc.hAvg = make([][]float64, L)
-	fc.base = make([][]float64, L)
-	fc.out = make([][]float64, L)
+	fc.base = hdrs(fc.base, L)
 	m.agg.ResetState()
 	for t := 0; t < L; t++ {
-		avg := make([]float64, cfg.Hidden)
-		n := len(hPerStep[t])
-		fc.nCells[t] = n
-		if n > 0 {
-			for _, h := range hPerStep[t] {
-				for j, v := range h {
-					avg[j] += v
-				}
-			}
+		avg := fc.hAvg[t]
+		if n := fc.nCells[t]; n > 0 {
 			for j := range avg {
 				avg[j] /= float64(n)
 			}
 		}
-		fc.hAvg[t] = avg
 		ha := m.agg.Step(avg)
 		fc.base[t] = m.aggOut.Forward(ha)
 	}
@@ -124,26 +156,32 @@ func (m *Model) forward(seq *Sequence, lo, L int, teacher [][]float64) *forwardC
 	// ResGen residual, autoregressive over the teacher series. The lags
 	// are perturbed (noisy teacher forcing) so the learned autoregression
 	// tolerates the generated history it will see at generation time.
+	fc.out = rows(fc.out, &m.outArena, L, nch)
 	if m.res != nil {
-		fc.resOuts = make([]*ResOut, L)
+		fc.resOuts = fc.resOuts[:0]
+		if cap(fc.resOuts) < L {
+			fc.resOuts = make([]*ResOut, 0, L)
+		}
+		if len(m.lagBuf) != cfg.Lags*nch {
+			m.lagBuf = make([]float64, cfg.Lags*nch)
+		}
 		for t := 0; t < L; t++ {
-			lags := BuildLags(teacher, lo+t, cfg.Lags, nch)
+			lags := BuildLagsInto(m.lagBuf, teacher, lo+t, cfg.Lags, nch)
 			if cfg.LagNoise > 0 {
 				for i := range lags {
 					lags[i] += cfg.LagNoise * m.rng.NormFloat64()
 				}
 			}
 			ro := m.res.Forward(seq.Env[lo+t], lags)
-			fc.resOuts[t] = ro
-			out := make([]float64, nch)
+			fc.resOuts = append(fc.resOuts, ro)
+			out := fc.out[t]
 			for c := 0; c < nch; c++ {
 				out[c] = fc.base[t][c] + ro.Sample[c]
 			}
-			fc.out[t] = out
 		}
 	} else {
 		for t := 0; t < L; t++ {
-			fc.out[t] = append([]float64(nil), fc.base[t]...)
+			copy(fc.out[t], fc.base[t])
 		}
 	}
 	return fc
@@ -158,28 +196,36 @@ func (m *Model) backward(fc *forwardCache, dOut [][]float64) {
 		for t := fc.L - 1; t >= 0; t-- {
 			m.res.Backward(fc.resOuts[t], dOut[t])
 		}
+		fc.resOuts = fc.resOuts[:0]
 	}
 	// Base path: linear head -> aggregation LSTM -> node LSTMs.
-	dHa := make([][]float64, fc.L)
+	dHa := hdrs(m.dHaRows, fc.L)
+	m.dHaRows = dHa
 	for t := fc.L - 1; t >= 0; t-- {
 		dHa[t] = m.aggOut.Backward(dOut[t])
 	}
 	dAvg := m.agg.BackwardSeq(dHa)
-	// Distribute the mean-aggregation gradient to each slot.
+	// Distribute the mean-aggregation gradient to each slot. The gradient
+	// rows are recomputed per slot into shared scratch (BackwardSteps only
+	// reads them).
+	m.dNodeH = rows(m.dNodeH, &m.dNodeAren, fc.L, cfg.Hidden)
 	for slot := len(fc.nodeSeq) - 1; slot >= 0; slot-- {
-		dH := make([][]float64, fc.L)
 		for t := 0; t < fc.L; t++ {
-			g := make([]float64, cfg.Hidden)
+			g := m.dNodeH[t]
 			if slot < fc.nCells[t] && fc.nCells[t] > 0 {
 				inv := 1 / float64(fc.nCells[t])
 				for j := range g {
 					g[j] = dAvg[t][j] * inv
 				}
+			} else {
+				for j := range g {
+					g[j] = 0
+				}
 			}
-			dH[t] = g
 		}
-		m.node.BackwardSteps(fc.nodeSeq[slot], dH)
+		m.node.BackwardSteps(fc.nodeSeq[slot], m.dNodeH)
 	}
+	fc.nodeSeq = fc.nodeSeq[:0]
 }
 
 // discriminate runs the discriminator over a window, returning the logit.
@@ -189,25 +235,34 @@ func (m *Model) discriminate(x, hAvg [][]float64) float64 {
 	m.disc.ResetState()
 	var last []float64
 	for t := range x {
-		in := make([]float64, 0, len(x[t])+len(hAvg[t]))
-		in = append(in, x[t]...)
+		in := append(m.inBuf[:0], x[t]...)
 		in = append(in, hAvg[t]...)
+		m.inBuf = in
 		last = m.disc.Step(in)
 	}
 	return m.discOut.Forward(last)[0]
 }
 
 // discBackward backpropagates dLogit through the discriminator's cached
-// pass, returning the gradient on the x-portion of each step input.
+// pass, returning the gradient on the x-portion of each step input. The
+// returned rows alias pooled discriminator buffers: they stay valid until
+// the next discriminate/discBackward call.
 func (m *Model) discBackward(dLogit float64, L, nch int) [][]float64 {
-	dLast := m.discOut.Backward([]float64{dLogit})
-	dH := make([][]float64, L)
+	if m.dLogit == nil {
+		m.dLogit = make([]float64, 1)
+		m.zeroH = make([]float64, m.Cfg.Hidden)
+	}
+	m.dLogit[0] = dLogit
+	dLast := m.discOut.Backward(m.dLogit)
+	dH := hdrs(m.dHdisc, L)
+	m.dHdisc = dH
 	for t := 0; t < L-1; t++ {
-		dH[t] = make([]float64, m.Cfg.Hidden)
+		dH[t] = m.zeroH // BackwardSeq only reads the rows
 	}
 	dH[L-1] = dLast
 	dIn := m.disc.BackwardSeq(dH)
-	dx := make([][]float64, L)
+	dx := hdrs(m.dxRows, L)
+	m.dxRows = dx
 	for t := 0; t < L; t++ {
 		dx[t] = dIn[t][:nch]
 	}
@@ -223,7 +278,23 @@ type TrainResult struct {
 
 // Train fits the model on the prepared sequences for Cfg.Epochs passes.
 // Progress can be observed via the optional logf (may be nil).
+//
+// With Cfg.Workers <= 1 this is the original serial per-window SGD loop,
+// bit-for-bit. With Workers = N, each shuffled epoch is processed in
+// mini-batches of N windows: N worker replicas (deep clones with
+// deterministically derived RNG seeds) run forward/backward concurrently,
+// their gradients are averaged into the primary model in worker order, one
+// optimizer step applies the update, and the new weights are broadcast
+// back to the replicas. The result is deterministic for a fixed Seed and
+// N regardless of scheduling; see DESIGN.md, "Parallel training engine".
 func (m *Model) Train(seqs []*Sequence, logf func(format string, args ...any)) TrainResult {
+	if m.Cfg.Workers > 1 {
+		return m.trainParallel(seqs, logf)
+	}
+	return m.trainSerial(seqs, logf)
+}
+
+func (m *Model) trainSerial(seqs []*Sequence, logf func(format string, args ...any)) TrainResult {
 	cfg := m.Cfg
 	nch := len(cfg.Channels)
 	wins := m.windows(seqs)
@@ -305,12 +376,191 @@ func (m *Model) Train(seqs []*Sequence, logf func(format string, args ...any)) T
 	return res
 }
 
+// windowGrads runs one window's forward/backward passes on a worker
+// replica, leaving generator gradients accumulated (unclipped) in the
+// replica's params. Discriminator gradients are flushed into discAcc and
+// zeroed in place, because the generator's adversarial pass must zero the
+// live discriminator grads to discard them. Returns the window's mean MSE
+// and discriminator loss.
+func (m *Model) windowGrads(w window, discAcc [][]float64) (mse, dloss float64) {
+	cfg := m.Cfg
+	nch := len(cfg.Channels)
+	L := cfg.BatchLen
+	real := w.seq.KPIs
+	fc := m.forward(w.seq, w.lo, L, real)
+
+	if !cfg.NoGANLoss {
+		logitReal := m.discriminate(realWindow(real, w.lo, L), fc.hAvg)
+		lossR, gR := nn.BCEWithLogitsLoss(logitReal, 1)
+		m.discBackward(gR, L, nch)
+		logitFake := m.discriminate(fc.out, fc.hAvg)
+		lossF, gF := nn.BCEWithLogitsLoss(logitFake, 0)
+		m.discBackward(gF, L, nch)
+		for pi, p := range m.discParams() {
+			acc := discAcc[pi]
+			for j, gv := range p.G {
+				acc[j] += gv
+			}
+			p.ZeroGrad()
+		}
+		dloss = lossR + lossF
+	}
+
+	dOut := make([][]float64, L)
+	for t := 0; t < L; t++ {
+		lossT, gT := nn.MSELoss(fc.out[t], real[w.lo+t])
+		mse += lossT
+		for c := range gT {
+			gT[c] /= float64(L)
+		}
+		dOut[t] = gT
+	}
+	mse /= float64(L)
+	if !cfg.NoGANLoss {
+		logitFake := m.discriminate(fc.out, fc.hAvg)
+		_, gAdv := nn.BCEWithLogitsLoss(logitFake, 1)
+		dxAdv := m.discBackward(gAdv, L, nch)
+		for _, p := range m.discParams() {
+			p.ZeroGrad()
+		}
+		for t := 0; t < L; t++ {
+			for c := 0; c < nch; c++ {
+				dOut[t][c] += cfg.Lambda * dxAdv[t][c] / float64(L)
+			}
+		}
+	}
+	m.backward(fc, dOut)
+	return mse, dloss
+}
+
+// trainParallel is the data-parallel training engine: worker replicas,
+// deterministic gradient reduction, a single optimizer step per mini-batch
+// of W windows, and weight re-broadcast.
+//
+// Semantically this is a batch-size change, not a model change: the
+// replicas compute exactly the per-window gradients the serial loop would,
+// and averaging W of them before one Adam step is gradient accumulation
+// over a mini-batch of W. Gradient clipping consequently applies once to
+// the averaged mini-batch gradient rather than per window.
+func (m *Model) trainParallel(seqs []*Sequence, logf func(format string, args ...any)) TrainResult {
+	cfg := m.Cfg
+	wins := m.windows(seqs)
+	if len(wins) == 0 {
+		return TrainResult{}
+	}
+	W := cfg.Workers
+	if W > len(wins) {
+		W = len(wins)
+	}
+	m.SetNoise(true)
+	if m.res != nil {
+		m.res.Dropout.Active = true
+	}
+	genP := m.genParams()
+	discP := m.discParams()
+
+	// Worker replicas with deterministically derived, well-separated seeds.
+	replicas := make([]*Model, W)
+	repGen := make([][]*nn.Param, W)
+	repDisc := make([][]*nn.Param, W)
+	discAcc := make([][][]float64, W)
+	for w := 0; w < W; w++ {
+		rep := m.Clone(workerSeed(cfg.Seed, w))
+		rep.SetNoise(true)
+		if rep.res != nil {
+			rep.res.Dropout.Active = true
+		}
+		replicas[w] = rep
+		repGen[w] = rep.genParams()
+		repDisc[w] = rep.discParams()
+		discAcc[w] = make([][]float64, len(discP))
+		for pi, p := range discP {
+			discAcc[w][pi] = make([]float64, len(p.G))
+		}
+	}
+
+	var res TrainResult
+	res.Windows = len(wins)
+	order := make([]int, len(wins))
+	for i := range order {
+		order[i] = i
+	}
+	mses := make([]float64, W)
+	dlosses := make([]float64, W)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var mseSum, dSum float64
+		for g0 := 0; g0 < len(order); g0 += W {
+			gN := len(order) - g0
+			if gN > W {
+				gN = W
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < gN; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					mses[w], dlosses[w] = replicas[w].windowGrads(wins[order[g0+w]], discAcc[w])
+				}(w)
+			}
+			wg.Wait()
+
+			// Deterministic reduction in worker order: average the worker
+			// gradients into the primary model's params.
+			inv := 1.0 / float64(gN)
+			for w := 0; w < gN; w++ {
+				mseSum += mses[w]
+				dSum += dlosses[w]
+				for pi, p := range repGen[w] {
+					dst := genP[pi].G
+					for j, gv := range p.G {
+						dst[j] += gv * inv
+					}
+					p.ZeroGrad()
+				}
+				if !cfg.NoGANLoss {
+					for pi := range repDisc[w] {
+						dst := discP[pi].G
+						acc := discAcc[w][pi]
+						for j, gv := range acc {
+							dst[j] += gv * inv
+							acc[j] = 0
+						}
+					}
+				}
+			}
+			if !cfg.NoGANLoss {
+				nn.ClipGrads(discP, cfg.ClipNorm)
+				m.discOpt.Step(discP)
+			}
+			nn.ClipGrads(genP, cfg.ClipNorm)
+			m.genOpt.Step(genP)
+
+			// Broadcast the updated weights back to every replica.
+			for w := 0; w < W; w++ {
+				for pi, p := range repGen[w] {
+					copy(p.W, genP[pi].W)
+				}
+				for pi, p := range repDisc[w] {
+					copy(p.W, discP[pi].W)
+				}
+			}
+		}
+		res.FinalMSE = mseSum / float64(len(wins))
+		res.FinalDLoss = dSum / float64(len(wins))
+		if logf != nil {
+			logf("epoch %d/%d: mse=%.5f dloss=%.4f", epoch+1, cfg.Epochs, res.FinalMSE, res.FinalDLoss)
+		}
+	}
+	return res
+}
+
 func realWindow(series [][]float64, lo, L int) [][]float64 {
 	return series[lo : lo+L]
 }
 
 // String describes the model briefly.
 func (m *Model) String() string {
-	return fmt.Sprintf("GenDT(nch=%d, H=%d, L=%d, Δt=%d, λ=%g, params=%d)",
-		len(m.Cfg.Channels), m.Cfg.Hidden, m.Cfg.BatchLen, m.Cfg.StepLen, m.Cfg.Lambda, m.ParamCount())
+	return fmt.Sprintf("GenDT(nch=%d, H=%d, L=%d, Δt=%d, λ=%g, W=%d, params=%d)",
+		len(m.Cfg.Channels), m.Cfg.Hidden, m.Cfg.BatchLen, m.Cfg.StepLen, m.Cfg.Lambda, m.Cfg.Workers, m.ParamCount())
 }

@@ -16,6 +16,9 @@ import (
 // §6.2.2 uses to pick the next training subset. A stable-but-large σ_θ with
 // small U indicates irreducible data uncertainty instead.
 //
+// The k passes are independent and run across Cfg.Workers parallel model
+// clones (serially on the model itself when Workers <= 1).
+//
 // Models built with NoResGen fall back to the variability of repeated full
 // generations, preserving a usable (if cruder) signal.
 func (m *Model) ModelUncertainty(seq *Sequence, k int) float64 {
@@ -36,29 +39,35 @@ func (m *Model) ModelUncertainty(seq *Sequence, k int) float64 {
 	// model itself) and record ResGen's (mu, sigma) trajectories.
 	mus := make([][][]float64, k)    // [k][T][nch]
 	sigmas := make([][][]float64, k) // [k][T][nch]
-	for i := 0; i < k; i++ {
-		gen := m.Generate(seq)
-		mu := make([][]float64, T)
-		sg := make([][]float64, T)
+	pass := func(mm *Model, i int) {
+		mm.res.Dropout.Active = true
+		gen := mm.Generate(seq)
+		mu := alloc2(T, nch)
+		sg := alloc2(T, nch)
+		lagBuf := make([]float64, mm.Cfg.Lags*nch)
 		for t := 0; t < T; t++ {
-			lags := BuildLags(gen, t, m.Cfg.Lags, nch)
-			ro := m.res.Forward(seq.Env[t], lags)
-			m.res.ClearCache()
-			mu[t] = ro.Mu
-			sg[t] = make([]float64, nch)
+			lags := BuildLagsInto(lagBuf, gen, t, mm.Cfg.Lags, nch)
+			ro := mm.res.Forward(seq.Env[t], lags)
+			mm.res.ClearCache()
+			copy(mu[t], ro.Mu)
 			for c := 0; c < nch; c++ {
 				sg[t][c] = math.Exp(clampLS(ro.LogSigma[c]))
 			}
+			mm.res.recycle(ro)
 		}
 		mus[i] = mu
 		sigmas[i] = sg
 	}
+	m.fanOut(k,
+		func(i int) { pass(m, i) },
+		func(rep *Model, i int) { pass(rep, i) })
+
 	// U = mean over t (and channels) of std across passes.
 	total := 0.0
+	mvals := make([]float64, k)
+	svals := make([]float64, k)
 	for t := 0; t < T; t++ {
 		for c := 0; c < nch; c++ {
-			mvals := make([]float64, k)
-			svals := make([]float64, k)
 			for i := 0; i < k; i++ {
 				mvals[i] = mus[i][t][c]
 				svals[i] = sigmas[i][t][c]
@@ -82,13 +91,15 @@ func (m *Model) DataUncertainty(seq *Sequence) float64 {
 	}
 	gen := m.Generate(seq)
 	total := 0.0
+	lagBuf := make([]float64, m.Cfg.Lags*nch)
 	for t := 0; t < T; t++ {
-		lags := BuildLags(gen, t, m.Cfg.Lags, nch)
+		lags := BuildLagsInto(lagBuf, gen, t, m.Cfg.Lags, nch)
 		ro := m.res.Forward(seq.Env[t], lags)
 		m.res.ClearCache()
 		for c := 0; c < nch; c++ {
 			total += math.Exp(clampLS(ro.LogSigma[c]))
 		}
+		m.res.recycle(ro)
 	}
 	return total / float64(T*nch)
 }
@@ -101,9 +112,9 @@ func (m *Model) fallbackUncertainty(seq *Sequence, k int) float64 {
 		gens[i] = m.Generate(seq)
 	}
 	total := 0.0
+	vals := make([]float64, k)
 	for t := 0; t < T; t++ {
 		for c := 0; c < nch; c++ {
-			vals := make([]float64, k)
 			for i := 0; i < k; i++ {
 				vals[i] = gens[i][t][c]
 			}

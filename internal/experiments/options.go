@@ -21,6 +21,11 @@ type Options struct {
 	StepLen  int
 	MaxCells int
 
+	// Workers is the data-parallel width passed to core.Config.Workers
+	// (0 = runtime.NumCPU()). QuickOptions pins 1 so smoke runs and
+	// benchmarks exercise the deterministic serial loop.
+	Workers int
+
 	BaselineEpochs int // epochs for MLP / LSTM-GNN / DG
 }
 
@@ -51,6 +56,7 @@ func QuickOptions() Options {
 		BatchLen:       12,
 		StepLen:        6,
 		MaxCells:       6,
+		Workers:        1,
 		BaselineEpochs: 2,
 	}
 }
@@ -65,5 +71,6 @@ func (o Options) gendtConfig(chans []core.ChannelSpec) core.Config {
 		MaxCells: o.MaxCells,
 		Epochs:   o.Epochs,
 		Seed:     o.Seed,
+		Workers:  o.Workers,
 	}
 }

@@ -5,12 +5,23 @@ import (
 	"math/rand"
 )
 
+// Buffer ownership for the pooled layers below: Forward returns a pooled
+// output vector that stays valid until the matching Backward (or
+// ClearCache) consumes it; Backward returns a pooled gradient vector that
+// stays valid until the next Forward on the same layer reclaims it. Inputs
+// passed to Forward are cached by reference and must stay unchanged until
+// the matching Backward. Layers are not safe for concurrent use — the
+// data-parallel trainer clones the whole model per worker instead.
+
 // Linear is a fully connected layer y = W x + b.
 type Linear struct {
 	In, Out int
 	W, B    *Param
 
 	cache [][]float64 // stack of cached inputs
+
+	outFree, outUsed [][]float64 // pooled forward outputs
+	dxFree, dxOut    [][]float64 // pooled backward input-gradients
 }
 
 // NewLinear allocates a Glorot-initialized fully connected layer.
@@ -22,12 +33,28 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 	}
 }
 
+// Clone returns a Linear with deep-copied parameters and empty caches.
+func (l *Linear) Clone() *Linear {
+	return &Linear{In: l.In, Out: l.Out, W: l.W.Clone(), B: l.B.Clone()}
+}
+
 // Forward implements Layer.
 func (l *Linear) Forward(x []float64) []float64 {
 	if len(x) != l.In {
 		panic("nn: Linear input dimension mismatch")
 	}
-	y := make([]float64, l.Out)
+	// Gradient rows issued by the previous backward pass are dead now.
+	if len(l.dxOut) > 0 {
+		l.dxFree = append(l.dxFree, l.dxOut...)
+		l.dxOut = l.dxOut[:0]
+	}
+	var y []float64
+	if n := len(l.outFree); n > 0 {
+		y = l.outFree[n-1]
+		l.outFree = l.outFree[:n-1]
+	} else {
+		y = make([]float64, l.Out)
+	}
 	for o := 0; o < l.Out; o++ {
 		s := l.B.W[o]
 		row := l.W.W[o*l.In : (o+1)*l.In]
@@ -37,13 +64,24 @@ func (l *Linear) Forward(x []float64) []float64 {
 		y[o] = s
 	}
 	l.cache = append(l.cache, x)
+	l.outUsed = append(l.outUsed, y)
 	return y
 }
 
 // Backward implements Layer.
 func (l *Linear) Backward(dy []float64) []float64 {
 	x := l.pop()
-	dx := make([]float64, l.In)
+	var dx []float64
+	if n := len(l.dxFree); n > 0 {
+		dx = l.dxFree[n-1]
+		l.dxFree = l.dxFree[:n-1]
+		for i := range dx {
+			dx[i] = 0
+		}
+	} else {
+		dx = make([]float64, l.In)
+	}
+	l.dxOut = append(l.dxOut, dx)
 	for o := 0; o < l.Out; o++ {
 		g := dy[o]
 		l.B.G[o] += g
@@ -64,6 +102,11 @@ func (l *Linear) pop() []float64 {
 	}
 	x := l.cache[n-1]
 	l.cache = l.cache[:n-1]
+	// The pooled output for this Forward is consumed; recycle it.
+	if m := len(l.outUsed); m > 0 {
+		l.outFree = append(l.outFree, l.outUsed[m-1])
+		l.outUsed = l.outUsed[:m-1]
+	}
 	return x
 }
 
@@ -71,20 +114,49 @@ func (l *Linear) pop() []float64 {
 func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 
 // ClearCache implements Layer.
-func (l *Linear) ClearCache() { l.cache = l.cache[:0] }
+func (l *Linear) ClearCache() {
+	l.cache = l.cache[:0]
+	l.outFree = append(l.outFree, l.outUsed...)
+	l.outUsed = l.outUsed[:0]
+	l.dxFree = append(l.dxFree, l.dxOut...)
+	l.dxOut = l.dxOut[:0]
+}
 
 // LeakyReLU is the elementwise activation max(x, alpha*x).
 type LeakyReLU struct {
 	Alpha float64
 	cache [][]float64
+
+	outFree, outUsed [][]float64
+	dxFree, dxOut    [][]float64
 }
 
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
 func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
+// Clone returns a LeakyReLU with the same slope and empty caches.
+func (l *LeakyReLU) Clone() *LeakyReLU { return NewLeakyReLU(l.Alpha) }
+
+// grab pops a pooled row of length n from free (dropping any stale row of
+// a different length) or allocates one.
+func grab(free *[][]float64, n int) []float64 {
+	for m := len(*free); m > 0; m = len(*free) {
+		buf := (*free)[m-1]
+		*free = (*free)[:m-1]
+		if len(buf) == n {
+			return buf
+		}
+	}
+	return make([]float64, n)
+}
+
 // Forward implements Layer.
 func (l *LeakyReLU) Forward(x []float64) []float64 {
-	y := make([]float64, len(x))
+	if len(l.dxOut) > 0 {
+		l.dxFree = append(l.dxFree, l.dxOut...)
+		l.dxOut = l.dxOut[:0]
+	}
+	y := grab(&l.outFree, len(x))
 	for i, v := range x {
 		if v >= 0 {
 			y[i] = v
@@ -93,6 +165,7 @@ func (l *LeakyReLU) Forward(x []float64) []float64 {
 		}
 	}
 	l.cache = append(l.cache, x)
+	l.outUsed = append(l.outUsed, y)
 	return y
 }
 
@@ -101,7 +174,12 @@ func (l *LeakyReLU) Backward(dy []float64) []float64 {
 	n := len(l.cache)
 	x := l.cache[n-1]
 	l.cache = l.cache[:n-1]
-	dx := make([]float64, len(dy))
+	if m := len(l.outUsed); m > 0 {
+		l.outFree = append(l.outFree, l.outUsed[m-1])
+		l.outUsed = l.outUsed[:m-1]
+	}
+	dx := grab(&l.dxFree, len(dy))
+	l.dxOut = append(l.dxOut, dx)
 	for i, v := range x {
 		if v >= 0 {
 			dx[i] = dy[i]
@@ -116,7 +194,13 @@ func (l *LeakyReLU) Backward(dy []float64) []float64 {
 func (l *LeakyReLU) Params() []*Param { return nil }
 
 // ClearCache implements Layer.
-func (l *LeakyReLU) ClearCache() { l.cache = l.cache[:0] }
+func (l *LeakyReLU) ClearCache() {
+	l.cache = l.cache[:0]
+	l.outFree = append(l.outFree, l.outUsed...)
+	l.outUsed = l.outUsed[:0]
+	l.dxFree = append(l.dxFree, l.dxOut...)
+	l.dxOut = l.dxOut[:0]
+}
 
 // Dropout zeroes each input with probability P during training, scaling
 // survivors by 1/(1-P). With Active=false it is the identity. Keeping it
@@ -127,6 +211,10 @@ type Dropout struct {
 	Active bool
 	rng    *rand.Rand
 	cache  [][]bool
+
+	maskFree         [][]bool
+	outFree, outUsed [][]float64
+	dxFree, dxOut    [][]float64
 }
 
 // NewDropout returns an active dropout layer with its own RNG stream.
@@ -134,16 +222,41 @@ func NewDropout(p float64, rng *rand.Rand) *Dropout {
 	return &Dropout{P: p, Active: true, rng: rng}
 }
 
+// Clone returns a Dropout with the same rate and activity, drawing masks
+// from rng.
+func (d *Dropout) Clone(rng *rand.Rand) *Dropout {
+	return &Dropout{P: d.P, Active: d.Active, rng: rng}
+}
+
+func (d *Dropout) grabMask(n int) []bool {
+	for m := len(d.maskFree); m > 0; m = len(d.maskFree) {
+		mask := d.maskFree[m-1]
+		d.maskFree = d.maskFree[:m-1]
+		if len(mask) == n {
+			for i := range mask {
+				mask[i] = false
+			}
+			return mask
+		}
+	}
+	return make([]bool, n)
+}
+
 // Forward implements Layer.
 func (d *Dropout) Forward(x []float64) []float64 {
-	y := make([]float64, len(x))
-	mask := make([]bool, len(x))
+	if len(d.dxOut) > 0 {
+		d.dxFree = append(d.dxFree, d.dxOut...)
+		d.dxOut = d.dxOut[:0]
+	}
+	y := grab(&d.outFree, len(x))
+	mask := d.grabMask(len(x))
 	if !d.Active || d.P <= 0 {
 		copy(y, x)
 		for i := range mask {
 			mask[i] = true
 		}
 		d.cache = append(d.cache, mask)
+		d.outUsed = append(d.outUsed, y)
 		return y
 	}
 	keep := 1 - d.P
@@ -151,9 +264,12 @@ func (d *Dropout) Forward(x []float64) []float64 {
 		if d.rng.Float64() < keep {
 			mask[i] = true
 			y[i] = v / keep
+		} else {
+			y[i] = 0
 		}
 	}
 	d.cache = append(d.cache, mask)
+	d.outUsed = append(d.outUsed, y)
 	return y
 }
 
@@ -162,7 +278,13 @@ func (d *Dropout) Backward(dy []float64) []float64 {
 	n := len(d.cache)
 	mask := d.cache[n-1]
 	d.cache = d.cache[:n-1]
-	dx := make([]float64, len(dy))
+	d.maskFree = append(d.maskFree, mask)
+	if m := len(d.outUsed); m > 0 {
+		d.outFree = append(d.outFree, d.outUsed[m-1])
+		d.outUsed = d.outUsed[:m-1]
+	}
+	dx := grab(&d.dxFree, len(dy))
+	d.dxOut = append(d.dxOut, dx)
 	keep := 1 - d.P
 	for i := range dy {
 		if mask[i] {
@@ -171,6 +293,8 @@ func (d *Dropout) Backward(dy []float64) []float64 {
 			} else {
 				dx[i] = dy[i]
 			}
+		} else {
+			dx[i] = 0
 		}
 	}
 	return dx
@@ -180,7 +304,14 @@ func (d *Dropout) Backward(dy []float64) []float64 {
 func (d *Dropout) Params() []*Param { return nil }
 
 // ClearCache implements Layer.
-func (d *Dropout) ClearCache() { d.cache = d.cache[:0] }
+func (d *Dropout) ClearCache() {
+	d.maskFree = append(d.maskFree, d.cache...)
+	d.cache = d.cache[:0]
+	d.outFree = append(d.outFree, d.outUsed...)
+	d.outUsed = d.outUsed[:0]
+	d.dxFree = append(d.dxFree, d.dxOut...)
+	d.dxOut = d.dxOut[:0]
+}
 
 // MLP is a sequential stack of layers sharing the Layer cache discipline.
 type MLP struct {
@@ -198,6 +329,27 @@ func NewMLP(sizes []int, alpha float64, rng *rand.Rand) *MLP {
 		}
 	}
 	return m
+}
+
+// Clone returns an MLP whose layers are deep copies; stochastic layers
+// draw from rng. It panics on layer types it does not know how to copy.
+func (m *MLP) Clone(rng *rand.Rand) *MLP {
+	c := &MLP{Layers: make([]Layer, len(m.Layers))}
+	for i, l := range m.Layers {
+		switch t := l.(type) {
+		case *Linear:
+			c.Layers[i] = t.Clone()
+		case *LeakyReLU:
+			c.Layers[i] = t.Clone()
+		case *Dropout:
+			c.Layers[i] = t.Clone(rng)
+		case *MLP:
+			c.Layers[i] = t.Clone(rng)
+		default:
+			panic("nn: MLP.Clone: unsupported layer type")
+		}
+	}
+	return c
 }
 
 // Forward implements Layer.

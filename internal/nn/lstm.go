@@ -17,6 +17,15 @@ import (
 // cached sequence and clears it. Hidden state persists across Step calls
 // until ResetState, which lets callers carry long-term state across
 // batches (GenDT's batch generation).
+//
+// Buffer ownership: all step caches and returned vectors come from
+// per-instance free lists, so steady-state training does no per-step
+// allocation. The vector returned by Step is valid until the steps that
+// produced it are consumed (BackwardSeq/BackwardSteps on them, or
+// ClearCache); the rows returned by BackwardSeq are valid until the next
+// BackwardSeq/BackwardSteps call on the same instance. Callers that need
+// longer lifetimes must copy. An LSTM is not safe for concurrent use; the
+// data-parallel trainer gives each worker its own Clone.
 type LSTM struct {
 	In, Hidden int
 
@@ -36,14 +45,24 @@ type LSTM struct {
 
 	h, c  []float64
 	steps []*lstmStep
+
+	free []*lstmStep // recycled step caches
+
+	// BackwardSeq scratch: two (dh, dc) buffer pairs swapped per timestep,
+	// plus pooled dx rows handed to the caller.
+	sDh, sDc         []float64
+	sDhPrev, sDcPrev []float64
+	dxFree           [][]float64
+	dxOut            [][]float64
 }
 
 type lstmStep struct {
-	x          []float64
+	x          []float64 // copy of the step input
 	hPrev      []float64 // post-noise h from previous step (input to gates)
 	cPrev      []float64
 	i, f, g, o []float64
 	c, h       []float64 // pre-noise outputs of this step
+	hOut, cOut []float64 // post-noise outputs (returned to the caller)
 	hScale     float64   // stochastic renormalization factors (1 when off)
 	cScale     float64
 }
@@ -66,14 +85,35 @@ func NewLSTM(in, hidden int, rng *rand.Rand) *LSTM {
 	return l
 }
 
+// Clone returns an LSTM with deep-copied parameters and zeroed recurrent
+// state, drawing its stochastic noise from rng. Caches and free lists are
+// not shared, so the clone can run concurrently with the original.
+func (l *LSTM) Clone(rng *rand.Rand) *LSTM {
+	c := &LSTM{
+		In: l.In, Hidden: l.Hidden,
+		W:  l.W.Clone(),
+		AH: l.AH, AC: l.AC, NoiseActive: l.NoiseActive,
+		rng: rng,
+	}
+	c.ResetState()
+	return c
+}
+
 // index helpers: gate in {0:i, 1:f, 2:g, 3:o}.
 func (l *LSTM) rowBase(gate, j int) int { return ((gate * l.Hidden) + j) * (l.In + l.Hidden + 1) }
 func (l *LSTM) bIdx(gate, j int) int    { return l.rowBase(gate, j) + l.In + l.Hidden }
 
 // ResetState zeroes the recurrent state (start of a new sequence).
 func (l *LSTM) ResetState() {
-	l.h = make([]float64, l.Hidden)
-	l.c = make([]float64, l.Hidden)
+	if l.h == nil {
+		l.h = make([]float64, l.Hidden)
+		l.c = make([]float64, l.Hidden)
+		return
+	}
+	for i := range l.h {
+		l.h[i] = 0
+		l.c[i] = 0
+	}
 }
 
 // State returns copies of the current hidden state and memory.
@@ -88,24 +128,42 @@ func (l *LSTM) SetState(h, c []float64) {
 	copy(l.c, c)
 }
 
+// getStep pops a recycled step cache or allocates a fresh one.
+func (l *LSTM) getStep() *lstmStep {
+	if n := len(l.free); n > 0 {
+		st := l.free[n-1]
+		l.free = l.free[:n-1]
+		return st
+	}
+	H := l.Hidden
+	return &lstmStep{
+		x:     make([]float64, l.In),
+		hPrev: make([]float64, H), cPrev: make([]float64, H),
+		i: make([]float64, H), f: make([]float64, H),
+		g: make([]float64, H), o: make([]float64, H),
+		c: make([]float64, H), h: make([]float64, H),
+		hOut: make([]float64, H), cOut: make([]float64, H),
+	}
+}
+
+// recycleSteps returns the cached steps to the free list.
+func (l *LSTM) recycleSteps() {
+	l.free = append(l.free, l.steps...)
+	l.steps = l.steps[:0]
+}
+
 // Step advances one timestep and returns the (possibly noise-modulated)
-// hidden state.
+// hidden state. The input is copied; the returned vector stays valid until
+// the step cache is consumed (see the type docs).
 func (l *LSTM) Step(x []float64) []float64 {
 	if len(x) != l.In {
 		panic("nn: LSTM input dimension mismatch")
 	}
-	st := &lstmStep{
-		x:      x,
-		hPrev:  append([]float64(nil), l.h...),
-		cPrev:  append([]float64(nil), l.c...),
-		i:      make([]float64, l.Hidden),
-		f:      make([]float64, l.Hidden),
-		g:      make([]float64, l.Hidden),
-		o:      make([]float64, l.Hidden),
-		c:      make([]float64, l.Hidden),
-		h:      make([]float64, l.Hidden),
-		hScale: 1, cScale: 1,
-	}
+	st := l.getStep()
+	copy(st.x, x)
+	copy(st.hPrev, l.h)
+	copy(st.cPrev, l.c)
+	st.hScale, st.cScale = 1, 1
 	cols := l.In + l.Hidden + 1
 	for j := 0; j < l.Hidden; j++ {
 		var z [4]float64
@@ -129,30 +187,30 @@ func (l *LSTM) Step(x []float64) []float64 {
 		st.h[j] = st.o[j] * math.Tanh(st.c[j])
 	}
 
-	hOut := append([]float64(nil), st.h...)
-	cOut := append([]float64(nil), st.c...)
+	copy(st.hOut, st.h)
+	copy(st.cOut, st.c)
 	if l.NoiseActive && (l.AH > 0 || l.AC > 0) {
-		hOut, st.hScale = l.modulate(hOut, l.AH)
-		cOut, st.cScale = l.modulate(cOut, l.AC)
+		st.hScale = l.modulate(st.hOut, l.AH)
+		st.cScale = l.modulate(st.cOut, l.AC)
 	}
-	l.h = hOut
-	l.c = cOut
+	copy(l.h, st.hOut)
+	copy(l.c, st.cOut)
 	l.steps = append(l.steps, st)
-	return append([]float64(nil), hOut...)
+	return st.hOut
 }
 
-// modulate applies the paper's §A.2 noise: v' = (v + a*n) * S(v)/S(v+a*n)
-// with n_i ~ U[0, mean(|v|)], renormalizing so the vector's total mass is
-// preserved. The paper normalizes by the signed sum; with tanh-activated
-// hidden states the signed sum can cancel to near zero and make the scale
-// explode, so we normalize by the absolute mass and cap the scale to
-// [0.5, 2] — same intent (mass-preserving noise), numerically stable. The
-// zero-mean noise is achieved by centring n around mean/2. It returns the
-// modulated vector and the effective linear scale used for the
-// (approximate) backward pass.
-func (l *LSTM) modulate(v []float64, a float64) ([]float64, float64) {
+// modulate applies the paper's §A.2 noise in place: v' = (v + a*n) *
+// S(v)/S(v+a*n) with n_i ~ U[0, mean(|v|)], renormalizing so the vector's
+// total mass is preserved. The paper normalizes by the signed sum; with
+// tanh-activated hidden states the signed sum can cancel to near zero and
+// make the scale explode, so we normalize by the absolute mass and cap the
+// scale to [0.5, 2] — same intent (mass-preserving noise), numerically
+// stable. The zero-mean noise is achieved by centring n around mean/2. It
+// returns the effective linear scale used for the (approximate) backward
+// pass.
+func (l *LSTM) modulate(v []float64, a float64) float64 {
 	if a <= 0 {
-		return v, 1
+		return 1
 	}
 	mean := 0.0
 	for _, x := range v {
@@ -160,12 +218,12 @@ func (l *LSTM) modulate(v []float64, a float64) ([]float64, float64) {
 	}
 	mean /= float64(len(v))
 	sumBefore, sumAfter := 0.0, 0.0
-	out := make([]float64, len(v))
 	for i, x := range v {
 		n := (l.rng.Float64() - 0.5) * mean // centred U[-mean/2, mean/2]
-		out[i] = x + a*n
+		nv := x + a*n
+		v[i] = nv
 		sumBefore += math.Abs(x)
-		sumAfter += math.Abs(out[i])
+		sumAfter += math.Abs(nv)
 	}
 	scale := 1.0
 	if sumAfter > 1e-12 {
@@ -176,10 +234,10 @@ func (l *LSTM) modulate(v []float64, a float64) ([]float64, float64) {
 	} else if scale > 2 {
 		scale = 2
 	}
-	for i := range out {
-		out[i] *= scale
+	for i := range v {
+		v[i] *= scale
 	}
-	return out, scale
+	return scale
 }
 
 // StepCache is an opaque detached sequence of cached LSTM steps, produced
@@ -201,7 +259,8 @@ func (l *LSTM) TakeSteps() StepCache {
 }
 
 // BackwardSteps backpropagates through a detached step sequence from
-// TakeSteps. See BackwardSeq for the gradient conventions.
+// TakeSteps, recycling its caches. See BackwardSeq for the gradient
+// conventions.
 func (l *LSTM) BackwardSteps(steps StepCache, dH [][]float64) [][]float64 {
 	saved := l.steps
 	l.steps = steps
@@ -210,39 +269,68 @@ func (l *LSTM) BackwardSteps(steps StepCache, dH [][]float64) [][]float64 {
 	return dX
 }
 
+// getDx pops a recycled input-gradient row (zeroed) or allocates one, and
+// records it as issued to the caller.
+func (l *LSTM) getDx() []float64 {
+	var dx []float64
+	if n := len(l.dxFree); n > 0 {
+		dx = l.dxFree[n-1]
+		l.dxFree = l.dxFree[:n-1]
+		for i := range dx {
+			dx[i] = 0
+		}
+	} else {
+		dx = make([]float64, l.In)
+	}
+	l.dxOut = append(l.dxOut, dx)
+	return dx
+}
+
 // BackwardSeq backpropagates through all cached steps. dH[t] is the
 // gradient w.r.t. the hidden output of step t (len(dH) must equal the
 // number of cached steps). It returns gradients w.r.t. the step inputs and
-// clears the cache. The stochastic layers are treated as a fixed linear
-// scaling during the backward pass (noise and renormalization factor held
-// constant), the same straight-through approximation used when training
-// with injected noise.
+// clears the cache. The returned rows are pooled: they stay valid until the
+// next BackwardSeq/BackwardSteps call on this instance. The stochastic
+// layers are treated as a fixed linear scaling during the backward pass
+// (noise and renormalization factor held constant), the same
+// straight-through approximation used when training with injected noise.
 func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
 	n := len(l.steps)
 	if len(dH) != n {
 		panic("nn: BackwardSeq gradient count mismatch")
 	}
+	// Rows issued by the previous backward pass are dead now; reclaim them.
+	l.dxFree = append(l.dxFree, l.dxOut...)
+	l.dxOut = l.dxOut[:0]
+	if l.sDh == nil {
+		l.sDh = make([]float64, l.Hidden)
+		l.sDc = make([]float64, l.Hidden)
+		l.sDhPrev = make([]float64, l.Hidden)
+		l.sDcPrev = make([]float64, l.Hidden)
+	}
 	cols := l.In + l.Hidden + 1
 	dX := make([][]float64, n)
-	dhNext := make([]float64, l.Hidden) // gradient flowing into h_t from t+1
-	dcNext := make([]float64, l.Hidden)
+	dhNext, dcNext := l.sDh, l.sDc // gradient flowing into h_t from t+1
+	dhPrev, dcPrev := l.sDhPrev, l.sDcPrev
+	for j := range dhNext {
+		dhNext[j] = 0
+		dcNext[j] = 0
+	}
 	for t := n - 1; t >= 0; t-- {
 		st := l.steps[t]
-		dh := make([]float64, l.Hidden)
-		dc := make([]float64, l.Hidden)
 		for j := 0; j < l.Hidden; j++ {
 			// Output gradient plus recurrent gradient; both arrived at the
 			// post-noise h, so scale back through the modulation.
-			dh[j] = (dH[t][j] + dhNext[j]) * st.hScale
-			dc[j] = dcNext[j] * st.cScale
+			dhNext[j] = (dH[t][j] + dhNext[j]) * st.hScale
+			dcNext[j] = dcNext[j] * st.cScale
+			dhPrev[j] = 0
+			dcPrev[j] = 0
 		}
-		dx := make([]float64, l.In)
-		dhPrev := make([]float64, l.Hidden)
-		dcPrev := make([]float64, l.Hidden)
+		dx := l.getDx()
 		for j := 0; j < l.Hidden; j++ {
 			tanhC := math.Tanh(st.c[j])
-			do := dh[j] * tanhC
-			dcTotal := dc[j] + dh[j]*st.o[j]*(1-tanhC*tanhC)
+			do := dhNext[j] * tanhC
+			dcTotal := dcNext[j] + dhNext[j]*st.o[j]*(1-tanhC*tanhC)
 			di := dcTotal * st.g[j]
 			dg := dcTotal * st.i[j]
 			df := dcTotal * st.cPrev[j]
@@ -270,10 +358,12 @@ func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
 			}
 		}
 		dX[t] = dx
-		dhNext = dhPrev
-		dcNext = dcPrev
+		dhNext, dhPrev = dhPrev, dhNext
+		dcNext, dcPrev = dcPrev, dcNext
 	}
-	l.steps = l.steps[:0]
+	l.sDh, l.sDhPrev = dhNext, dhPrev
+	l.sDc, l.sDcPrev = dcNext, dcPrev
+	l.recycleSteps()
 	return dX
 }
 
@@ -283,5 +373,6 @@ func (l *LSTM) StepCount() int { return len(l.steps) }
 // Params implements the parameter-holder convention.
 func (l *LSTM) Params() []*Param { return []*Param{l.W} }
 
-// ClearCache drops cached steps without backpropagating (generation mode).
-func (l *LSTM) ClearCache() { l.steps = l.steps[:0] }
+// ClearCache recycles cached steps without backpropagating (generation
+// mode). Vectors previously returned by Step become invalid.
+func (l *LSTM) ClearCache() { l.recycleSteps() }

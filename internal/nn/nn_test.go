@@ -131,7 +131,8 @@ func TestDropoutPreservesExpectation(t *testing.T) {
 
 func TestDropoutMCVariability(t *testing.T) {
 	d := NewDropout(0.5, rand.New(rand.NewSource(5)))
-	a := d.Forward([]float64{1, 1, 1, 1, 1, 1, 1, 1})
+	// Outputs are pooled (valid only until ClearCache), so copy before reuse.
+	a := append([]float64(nil), d.Forward([]float64{1, 1, 1, 1, 1, 1, 1, 1})...)
 	d.ClearCache()
 	b := d.Forward([]float64{1, 1, 1, 1, 1, 1, 1, 1})
 	same := true
@@ -304,7 +305,8 @@ func TestLSTMModulatePreservesMass(t *testing.T) {
 		mass += math.Abs(x)
 	}
 	for trial := 0; trial < 50; trial++ {
-		out, scale := l.modulate(append([]float64(nil), v...), 2)
+		out := append([]float64(nil), v...)
+		scale := l.modulate(out, 2)
 		outMass := 0.0
 		for _, x := range out {
 			outMass += math.Abs(x)

@@ -45,6 +45,18 @@ func (p *Param) ZeroGrad() {
 	}
 }
 
+// Clone returns a deep copy of the parameter (weights, gradient, and Adam
+// moments), sharing no storage with the original. It is the building block
+// of model replication for data-parallel training.
+func (p *Param) Clone() *Param {
+	return &Param{
+		W: append([]float64(nil), p.W...),
+		G: append([]float64(nil), p.G...),
+		M: append([]float64(nil), p.M...),
+		V: append([]float64(nil), p.V...),
+	}
+}
+
 // XavierScale returns the Glorot-uniform initialization scale for a layer
 // with the given fan-in and fan-out.
 func XavierScale(fanIn, fanOut int) float64 {
@@ -63,6 +75,14 @@ type Adam struct {
 // NewAdam returns an Adam optimizer with standard betas.
 func NewAdam(lr float64) *Adam {
 	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Clone returns a copy of the optimizer, including its step counter.
+// Per-parameter moments live on the Params themselves, so this is all the
+// state an optimizer carries.
+func (a *Adam) Clone() *Adam {
+	cp := *a
+	return &cp
 }
 
 // Step applies one Adam update to all params and zeroes their gradients.
