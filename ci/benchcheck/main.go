@@ -1,0 +1,202 @@
+// Command benchcheck compares `go test -bench` output against a committed
+// baseline (BENCH_baseline.json) and fails when a benchmark regresses
+// beyond the configured tolerances. It is the CI bench-regression gate:
+// allocs/op is deterministic and gets a tight bound; ns/op varies with the
+// runner and gets a loose one.
+//
+// Usage:
+//
+//	go test -run XXX -bench 'Train|Generate' -benchtime 3x -benchmem ./... | tee bench.txt
+//	go run ./ci/benchcheck -baseline BENCH_baseline.json -input bench.txt
+//
+// With -update the baseline file is rewritten from the input instead of
+// checked (for refreshing after an intentional perf change).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// Baseline is the committed reference file format.
+type Baseline struct {
+	Description  string            `json:"description"`
+	TolerancePct Tolerance         `json:"tolerance_pct"`
+	Benchmarks   map[string]Result `json:"benchmarks"`
+}
+
+// Tolerance holds the allowed regression percentages.
+type Tolerance struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// benchLine matches one `go test -bench -benchmem` result line, e.g.
+//
+//	BenchmarkTrain/workers=1-8  3  33569627 ns/op  520496 B/op  6126 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// gomaxprocsSuffix is the trailing -N the bench harness appends to names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseBench extracts benchmark results from `go test -bench` output,
+// stripping the GOMAXPROCS suffix from names. Repeated runs of one
+// benchmark keep the best (lowest ns/op) measurement, matching benchstat's
+// robustness against warm-up noise.
+func ParseBench(r io.Reader) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcheck: %q: %w", name, err)
+		}
+		res := Result{NsOp: ns}
+		if m[4] != "" {
+			if res.AllocsOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("benchcheck: %q: %w", name, err)
+			}
+		}
+		if prev, ok := out[name]; !ok || res.NsOp < prev.NsOp {
+			out[name] = res
+		}
+	}
+	return out, sc.Err()
+}
+
+// Problem is one detected regression or inconsistency.
+type Problem struct {
+	Name   string
+	Metric string
+	Base   float64
+	Got    float64
+	PctUp  float64
+}
+
+func (p Problem) String() string {
+	if p.Base == 0 && p.Got == 0 {
+		return fmt.Sprintf("%s: missing from bench output", p.Name)
+	}
+	return fmt.Sprintf("%s: %s regressed %.1f%% (baseline %.0f, got %.0f)",
+		p.Name, p.Metric, p.PctUp, p.Base, p.Got)
+}
+
+// Compare checks every baseline benchmark against the measured results.
+// Benchmarks measured but absent from the baseline are ignored (new
+// benchmarks are adopted by -update, not silently gated).
+func Compare(base Baseline, got map[string]Result) []Problem {
+	var problems []Problem
+	check := func(name, metric string, baseV, gotV, tolPct float64) {
+		if baseV <= 0 {
+			return // nothing to compare against
+		}
+		pctUp := 100 * (gotV - baseV) / baseV
+		if pctUp > tolPct {
+			problems = append(problems, Problem{Name: name, Metric: metric, Base: baseV, Got: gotV, PctUp: pctUp})
+		}
+	}
+	for name, b := range base.Benchmarks {
+		g, ok := got[name]
+		if !ok {
+			problems = append(problems, Problem{Name: name})
+			continue
+		}
+		check(name, "ns/op", b.NsOp, g.NsOp, base.TolerancePct.NsOp)
+		check(name, "allocs/op", b.AllocsOp, g.AllocsOp, base.TolerancePct.AllocsOp)
+	}
+	return problems
+}
+
+func run() error {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
+	input := flag.String("input", "", "bench output file ('-' or empty reads stdin)")
+	update := flag.Bool("update", false, "rewrite the baseline from the input instead of checking")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *input != "" && *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	got, err := ParseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(got) == 0 {
+		return fmt.Errorf("benchcheck: no benchmark lines found in input")
+	}
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchcheck: %s: %w", *baselinePath, err)
+	}
+
+	if *update {
+		for name := range base.Benchmarks {
+			if g, ok := got[name]; ok {
+				base.Benchmarks[name] = g
+			}
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchcheck: updated %s (%d benchmarks)\n", *baselinePath, len(base.Benchmarks))
+		return nil
+	}
+
+	fmt.Printf("benchcheck: %d measured, %d gated (tolerance ns/op +%.0f%%, allocs/op +%.0f%%)\n",
+		len(got), len(base.Benchmarks), base.TolerancePct.NsOp, base.TolerancePct.AllocsOp)
+	for name, b := range base.Benchmarks {
+		if g, ok := got[name]; ok {
+			fmt.Printf("  %-40s ns/op %12.0f -> %12.0f   allocs/op %8.0f -> %8.0f\n",
+				name, b.NsOp, g.NsOp, b.AllocsOp, g.AllocsOp)
+		}
+	}
+	problems := Compare(base, got)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "FAIL:", p)
+		}
+		return fmt.Errorf("benchcheck: %d regression(s)", len(problems))
+	}
+	fmt.Println("benchcheck: OK")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: gendt
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTrain/workers=1-8         	       3	  33569627 ns/op	  520496 B/op	    6126 allocs/op
+BenchmarkTrain/workers=4-8         	       3	  12000000 ns/op	  600000 B/op	    6200 allocs/op
+BenchmarkGenerate-8                	       3	    646789 ns/op	    3377 B/op	      12 allocs/op
+BenchmarkGenerate-8                	       3	    700000 ns/op	    3377 B/op	      12 allocs/op
+BenchmarkModelUncertainty/workers=1-8 	       3	   3330677 ns/op	   30683 B/op	     472 allocs/op
+PASS
+ok  	gendt	2.184s
+`
+
+func baseline() Baseline {
+	return Baseline{
+		TolerancePct: Tolerance{NsOp: 50, AllocsOp: 25},
+		Benchmarks: map[string]Result{
+			"BenchmarkTrain/workers=1":            {NsOp: 33569627, AllocsOp: 6126},
+			"BenchmarkGenerate":                   {NsOp: 646789, AllocsOp: 12},
+			"BenchmarkModelUncertainty/workers=1": {NsOp: 3330677, AllocsOp: 472},
+		},
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks: %+v", len(got), got)
+	}
+	g, ok := got["BenchmarkGenerate"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	// Two runs: the faster one wins.
+	if g.NsOp != 646789 || g.AllocsOp != 12 {
+		t.Fatalf("BenchmarkGenerate = %+v", g)
+	}
+	if tr := got["BenchmarkTrain/workers=1"]; tr.AllocsOp != 6126 {
+		t.Fatalf("sub-benchmark = %+v", tr)
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	got, _ := ParseBench(strings.NewReader(sampleOutput))
+	if problems := Compare(baseline(), got); len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	got := map[string]Result{
+		"BenchmarkTrain/workers=1":            {NsOp: 33569627 * 1.4, AllocsOp: 6126 * 1.2},
+		"BenchmarkGenerate":                   {NsOp: 646789, AllocsOp: 12},
+		"BenchmarkModelUncertainty/workers=1": {NsOp: 3330677, AllocsOp: 472},
+	}
+	if problems := Compare(baseline(), got); len(problems) != 0 {
+		t.Fatalf("within-tolerance run flagged: %v", problems)
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	got := map[string]Result{
+		"BenchmarkTrain/workers=1":            {NsOp: 33569627 * 1.6, AllocsOp: 6126},
+		"BenchmarkGenerate":                   {NsOp: 646789, AllocsOp: 12},
+		"BenchmarkModelUncertainty/workers=1": {NsOp: 3330677, AllocsOp: 472},
+	}
+	problems := Compare(baseline(), got)
+	if len(problems) != 1 || problems[0].Metric != "ns/op" {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCompareAllocRegression(t *testing.T) {
+	got := map[string]Result{
+		"BenchmarkTrain/workers=1":            {NsOp: 33569627, AllocsOp: 6126},
+		"BenchmarkGenerate":                   {NsOp: 646789, AllocsOp: 16}, // +33%
+		"BenchmarkModelUncertainty/workers=1": {NsOp: 3330677, AllocsOp: 472},
+	}
+	problems := Compare(baseline(), got)
+	if len(problems) != 1 || problems[0].Metric != "allocs/op" || problems[0].Name != "BenchmarkGenerate" {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	got := map[string]Result{
+		"BenchmarkGenerate":                   {NsOp: 646789, AllocsOp: 12},
+		"BenchmarkModelUncertainty/workers=1": {NsOp: 3330677, AllocsOp: 472},
+	}
+	problems := Compare(baseline(), got)
+	if len(problems) != 1 || !strings.Contains(problems[0].String(), "missing") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCompareIgnoresExtraBenchmarks(t *testing.T) {
+	got, _ := ParseBench(strings.NewReader(sampleOutput))
+	got["BenchmarkSomethingNew"] = Result{NsOp: 1, AllocsOp: 1e9}
+	if problems := Compare(baseline(), got); len(problems) != 0 {
+		t.Fatalf("extra benchmark gated: %v", problems)
+	}
+}

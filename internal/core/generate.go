@@ -232,6 +232,58 @@ func (m *Model) fanOut(n int, serial func(i int), parallelItem func(rep *Model, 
 	wg.Wait()
 }
 
+// DeriveSeed deterministically derives the i-th child seed from a base
+// seed (the same splitmix64 separation the worker pool uses). Serving-side
+// sample fan-out uses it so that a request's i-th sample is a pure function
+// of (request seed, i).
+func DeriveSeed(seed int64, i int) int64 { return workerSeed(seed, i) }
+
+// GenJob is one seeded generation work item for GenerateJobs: a prepared
+// sequence plus the RNG seed its sample is drawn with.
+type GenJob struct {
+	Seq  *Sequence
+	Seed int64
+}
+
+// GenerateJobs generates the denormalized [channel][t] series for each job
+// on a fresh model clone seeded with the job's own seed, running up to
+// Cfg.Workers jobs concurrently. Each output depends only on the model
+// parameters and the job's (Seq, Seed) — not on the batch composition, the
+// worker count, or goroutine scheduling — so a serving layer can coalesce
+// arbitrary concurrent requests into one call and still return bit-identical
+// results per request. Unlike Generate, it does not mutate the receiver:
+// as long as the model's parameters are not concurrently written (e.g. by
+// Train), GenerateJobs is safe to call from multiple goroutines at once.
+func (m *Model) GenerateJobs(jobs []GenJob) [][][]float64 {
+	out := make([][][]float64, len(jobs))
+	run := func(i int) {
+		rep := m.Clone(jobs[i].Seed)
+		out[i] = rep.DenormalizeSeries(rep.Generate(jobs[i].Seq))
+	}
+	W := m.Cfg.Workers
+	if W > len(jobs) {
+		W = len(jobs)
+	}
+	if W <= 1 {
+		for i := range jobs {
+			run(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < W; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(jobs); i += W {
+				run(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
 // GenerateAll generates the normalized series for every sequence, fanning
 // the sequences out across Cfg.Workers parallel model clones. With
 // Workers <= 1 it is equivalent to calling Generate on each sequence in

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"gendt/internal/dataset"
+)
+
+// TestGenerateJobsBatchInvariant is the serving-layer contract: a job's
+// output depends only on the model parameters and its own (Seq, Seed),
+// never on batch composition or worker count.
+func TestGenerateJobsBatchInvariant(t *testing.T) {
+	d := dataset.NewDatasetA(tinyData)
+	chans := RSRPRSRQChannels()
+	m := NewModel(tinyConfig(chans))
+	seqA := PrepareSequence(d.TestRuns()[0], chans, 6)
+	seqB := PrepareSequence(d.TestRuns()[1], chans, 6)
+
+	solo := m.GenerateJobs([]GenJob{{Seq: seqA, Seed: 42}})[0]
+
+	// Same job inside a larger, reordered batch.
+	batch := m.GenerateJobs([]GenJob{
+		{Seq: seqB, Seed: 7},
+		{Seq: seqA, Seed: 42},
+		{Seq: seqA, Seed: 43},
+	})
+	if !reflect.DeepEqual(solo, batch[1]) {
+		t.Fatal("job output changed with batch composition")
+	}
+	if reflect.DeepEqual(batch[1], batch[2]) {
+		t.Fatal("different seeds must give different samples")
+	}
+
+	// Same batch at a different worker width.
+	m.Cfg.Workers = 4
+	wide := m.GenerateJobs([]GenJob{
+		{Seq: seqB, Seed: 7},
+		{Seq: seqA, Seed: 42},
+		{Seq: seqA, Seed: 43},
+	})
+	for i := range batch {
+		if !reflect.DeepEqual(batch[i], wide[i]) {
+			t.Fatalf("job %d changed with worker count", i)
+		}
+	}
+
+	// Output shape: [samples][channel][t] in physical units.
+	if len(solo) != len(chans) || len(solo[0]) != seqA.Len() {
+		t.Fatalf("shape %dx%d, want %dx%d", len(solo), len(solo[0]), len(chans), seqA.Len())
+	}
+}
+
+// TestGenerateJobsDoesNotMutateModel: serving calls GenerateJobs on a
+// shared model from many goroutines; the receiver must stay untouched.
+func TestGenerateJobsDoesNotMutateModel(t *testing.T) {
+	d := dataset.NewDatasetA(tinyData)
+	chans := RSRPRSRQChannels()
+	m := NewModel(tinyConfig(chans))
+	seq := PrepareSequence(d.TestRuns()[0], chans, 6)
+
+	// Reference behaviour of the model's own RNG stream.
+	ref := NewModel(tinyConfig(chans)).Generate(seq)
+
+	m.GenerateJobs([]GenJob{{Seq: seq, Seed: 1}, {Seq: seq, Seed: 2}})
+	got := m.Generate(seq)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("GenerateJobs disturbed the receiver's RNG stream")
+	}
+}
+
+func TestDeriveSeed(t *testing.T) {
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Fatal("not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		s := DeriveSeed(12345, i)
+		if seen[s] {
+			t.Fatalf("collision at %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(1, 0) == DeriveSeed(2, 0) {
+		t.Fatal("base seed ignored")
+	}
+}

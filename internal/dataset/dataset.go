@@ -107,6 +107,20 @@ func (d *Dataset) Scenarios() []string {
 	return out
 }
 
+// NewByName builds dataset "A" or "B" (case-insensitive) — the shared
+// world handle long-lived services construct once and hold resident, so
+// route annotation does not rebuild the deployment and environment map per
+// request.
+func NewByName(name string, spec Spec) (*Dataset, error) {
+	switch name {
+	case "A", "a":
+		return NewDatasetA(spec), nil
+	case "B", "b":
+		return NewDatasetB(spec), nil
+	}
+	return nil, fmt.Errorf("dataset: unknown dataset %q (want A or B)", name)
+}
+
 // originA anchors Dataset A (a UK-like city centre).
 var originA = geo.Point{Lat: 55.9533, Lon: -3.1883}
 

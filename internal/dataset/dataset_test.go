@@ -11,6 +11,21 @@ import (
 // smallSpec keeps test datasets fast to build.
 var smallSpec = Spec{Seed: 1, Scale: 0.02}
 
+func TestNewByName(t *testing.T) {
+	for _, name := range []string{"A", "a", "B", "b"} {
+		d, err := NewByName(name, smallSpec)
+		if err != nil {
+			t.Fatalf("NewByName(%q): %v", name, err)
+		}
+		if d.World == nil || len(d.Runs) == 0 {
+			t.Fatalf("NewByName(%q) returned empty dataset", name)
+		}
+	}
+	if _, err := NewByName("C", smallSpec); err == nil {
+		t.Fatal("unknown dataset name must error")
+	}
+}
+
 func TestDatasetAScenarios(t *testing.T) {
 	d := NewDatasetA(smallSpec)
 	scens := d.Scenarios()

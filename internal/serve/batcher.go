@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"gendt/internal/core"
+)
+
+// ErrDraining is returned to requests that arrive while the batcher shuts
+// down.
+var ErrDraining = errors.New("serve: server draining")
+
+// batchItem is one admitted request: its generation jobs (one per sample)
+// and the channel its results come back on. done is buffered so the run
+// loop never blocks on a caller that gave up (context timeout).
+type batchItem struct {
+	jobs []core.GenJob
+	done chan [][][]float64
+}
+
+// Batcher is the micro-batching admission layer for one model. Concurrent
+// /v1/generate requests that land within the batching window are coalesced
+// into a single GenerateJobs call, amortizing the clone/fan-out cost of
+// the parallel generation engine across requests. Because every job is
+// generated from a clone seeded with the job's own seed, coalescing never
+// changes results: a request's output is bit-identical whether it ran
+// alone or shared a batch (see core.GenerateJobs).
+type Batcher struct {
+	model  func() *core.Model // resolved per batch so hot reload takes effect
+	window time.Duration
+	max    int // max coalesced jobs per GenerateJobs call
+	met    *Metrics
+
+	ch chan *batchItem
+	wg sync.WaitGroup
+
+	// drain guards ch against send-after-close: Generate holds the read
+	// side while admitting, Close takes the write side to flip closed.
+	drain  sync.RWMutex
+	closed bool
+}
+
+// DefaultMaxBatch bounds the jobs coalesced into one GenerateJobs call.
+const DefaultMaxBatch = 64
+
+// NewBatcher starts the admission loop. window <= 0 disables waiting: a
+// batch still absorbs whatever is already queued, but never delays the
+// first request (the correct setting for latency-sensitive single-client
+// use).
+func NewBatcher(model func() *core.Model, window time.Duration, maxBatch int, met *Metrics) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	b := &Batcher{
+		model:  model,
+		window: window,
+		max:    maxBatch,
+		met:    met,
+		ch:     make(chan *batchItem, 4*maxBatch),
+	}
+	b.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// Generate admits one request of len(jobs) samples and blocks until the
+// batch executes or ctx expires. On ctx expiry the work may still execute
+// (a batch in flight cannot be cancelled) but the result is discarded.
+func (b *Batcher) Generate(ctx context.Context, jobs []core.GenJob) ([][][]float64, error) {
+	item := &batchItem{jobs: jobs, done: make(chan [][][]float64, 1)}
+	b.drain.RLock()
+	if b.closed {
+		b.drain.RUnlock()
+		return nil, ErrDraining
+	}
+	select {
+	case b.ch <- item:
+		b.drain.RUnlock()
+	case <-ctx.Done():
+		b.drain.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case out := <-item.done:
+		return out, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops admission and drains: items already accepted are executed
+// before the run loop exits. Safe to call more than once.
+func (b *Batcher) Close() {
+	b.drain.Lock()
+	if !b.closed {
+		b.closed = true
+		close(b.ch)
+	}
+	b.drain.Unlock()
+	b.wg.Wait()
+}
+
+func (b *Batcher) run() {
+	defer b.wg.Done()
+	for {
+		item, ok := <-b.ch
+		if !ok {
+			return
+		}
+		batch := b.collect(item)
+		b.execute(batch)
+	}
+}
+
+// collect gathers the current batch: the triggering item plus whatever
+// else arrives within the window, up to the job cap.
+func (b *Batcher) collect(first *batchItem) []*batchItem {
+	batch := []*batchItem{first}
+	jobs := len(first.jobs)
+	if b.window <= 0 {
+		for jobs < b.max {
+			select {
+			case it, ok := <-b.ch:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, it)
+				jobs += len(it.jobs)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for jobs < b.max {
+		select {
+		case it, ok := <-b.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, it)
+			jobs += len(it.jobs)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (b *Batcher) execute(batch []*batchItem) {
+	var jobs []core.GenJob
+	for _, it := range batch {
+		jobs = append(jobs, it.jobs...)
+	}
+	start := time.Now()
+	outs := b.model().GenerateJobs(jobs)
+	if b.met != nil {
+		b.met.ObserveBatch(len(batch), len(jobs), time.Since(start))
+	}
+	off := 0
+	for _, it := range batch {
+		it.done <- outs[off : off+len(it.jobs)]
+		off += len(it.jobs)
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMs are the upper bounds (milliseconds) of the fixed
+// logarithmic latency histogram; the final implicit bucket is +Inf.
+var latencyBucketsMs = [...]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
+
+// histogram is a fixed-bucket latency histogram with atomic counters; safe
+// for concurrent observation without locks.
+type histogram struct {
+	counts  [len(latencyBucketsMs) + 1]atomic.Int64
+	sumNs   atomic.Int64
+	observe atomic.Int64
+}
+
+func (h *histogram) Observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.observe.Add(1)
+}
+
+// histogramSnap is the JSON rendering of a histogram.
+type histogramSnap struct {
+	Count   int64            `json:"count"`
+	MeanMs  float64          `json:"mean_ms"`
+	Buckets map[string]int64 `json:"buckets_le_ms"`
+}
+
+func (h *histogram) snapshot() histogramSnap {
+	s := histogramSnap{Buckets: make(map[string]int64, len(latencyBucketsMs)+1)}
+	s.Count = h.observe.Load()
+	if s.Count > 0 {
+		s.MeanMs = float64(h.sumNs.Load()) / float64(s.Count) / float64(time.Millisecond)
+	}
+	for i := range latencyBucketsMs {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets[fmtMs(latencyBucketsMs[i])] = n
+		}
+	}
+	if n := h.counts[len(latencyBucketsMs)].Load(); n > 0 {
+		s.Buckets["+Inf"] = n
+	}
+	return s
+}
+
+// Bucket bounds are integral milliseconds.
+func fmtMs(v float64) string { return strconv.Itoa(int(v)) }
+
+// endpointStats tracks one endpoint's request count, error count, in-flight
+// gauge, and latency histogram.
+type endpointStats struct {
+	Requests atomic.Int64
+	Errors   atomic.Int64
+	InFlight atomic.Int64
+	Latency  histogram
+}
+
+type endpointSnap struct {
+	Requests int64         `json:"requests"`
+	Errors   int64         `json:"errors"`
+	InFlight int64         `json:"in_flight"`
+	Latency  histogramSnap `json:"latency"`
+}
+
+// Metrics aggregates the server's observability state, exposed as JSON at
+// /debug/vars. All counters are atomics: observation never contends with
+// request handling.
+type Metrics struct {
+	start     time.Time
+	endpoints map[string]*endpointStats // fixed key set, created upfront
+
+	// Generation-specific counters.
+	GenerateNs      atomic.Int64 // cumulative ns spent inside GenerateJobs
+	GenerateSamples atomic.Int64 // samples generated (jobs executed)
+	Batches         atomic.Int64 // GenerateJobs calls issued by the batcher
+	BatchedRequests atomic.Int64 // requests that shared a batch with >=1 other
+	MaxBatch        atomic.Int64 // largest coalesced batch observed (requests)
+	PrepHits        atomic.Int64 // prepared-sequence cache hits
+	PrepMisses      atomic.Int64 // prepared-sequence cache misses
+}
+
+// NewMetrics creates the metrics state for the given endpoint names.
+func NewMetrics(endpoints ...string) *Metrics {
+	m := &Metrics{start: time.Now(), endpoints: make(map[string]*endpointStats, len(endpoints))}
+	for _, e := range endpoints {
+		m.endpoints[e] = &endpointStats{}
+	}
+	return m
+}
+
+// Endpoint returns the stats for a registered endpoint name, or nil.
+func (m *Metrics) Endpoint(name string) *endpointStats { return m.endpoints[name] }
+
+// ObserveBatch records one executed batch of n coalesced requests covering
+// samples generation jobs that took d.
+func (m *Metrics) ObserveBatch(n, samples int, d time.Duration) {
+	m.Batches.Add(1)
+	m.GenerateSamples.Add(int64(samples))
+	m.GenerateNs.Add(int64(d))
+	if n > 1 {
+		m.BatchedRequests.Add(int64(n))
+	}
+	for {
+		cur := m.MaxBatch.Load()
+		if int64(n) <= cur || m.MaxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// varsSnap is the /debug/vars JSON document.
+type varsSnap struct {
+	UptimeS   float64                 `json:"uptime_s"`
+	Endpoints map[string]endpointSnap `json:"endpoints"`
+
+	Generate struct {
+		Samples         int64   `json:"samples"`
+		NsPerSample     float64 `json:"ns_per_sample"`
+		Batches         int64   `json:"batches"`
+		BatchedRequests int64   `json:"batched_requests"`
+		MaxBatch        int64   `json:"max_batch"`
+		PrepCacheHits   int64   `json:"prep_cache_hits"`
+		PrepCacheMisses int64   `json:"prep_cache_misses"`
+	} `json:"generate"`
+
+	Runtime struct {
+		Goroutines  int    `json:"goroutines"`
+		AllocBytes  uint64 `json:"alloc_bytes"`
+		TotalAlloc  uint64 `json:"total_alloc_bytes"`
+		SysBytes    uint64 `json:"sys_bytes"`
+		HeapObjects uint64 `json:"heap_objects"`
+		NumGC       uint32 `json:"num_gc"`
+	} `json:"runtime"`
+}
+
+// Snapshot renders the current metrics, sampling runtime.MemStats.
+func (m *Metrics) Snapshot() varsSnap {
+	var s varsSnap
+	s.UptimeS = time.Since(m.start).Seconds()
+	s.Endpoints = make(map[string]endpointSnap, len(m.endpoints))
+	for name, e := range m.endpoints {
+		s.Endpoints[name] = endpointSnap{
+			Requests: e.Requests.Load(),
+			Errors:   e.Errors.Load(),
+			InFlight: e.InFlight.Load(),
+			Latency:  e.Latency.snapshot(),
+		}
+	}
+	s.Generate.Samples = m.GenerateSamples.Load()
+	if s.Generate.Samples > 0 {
+		s.Generate.NsPerSample = float64(m.GenerateNs.Load()) / float64(s.Generate.Samples)
+	}
+	s.Generate.Batches = m.Batches.Load()
+	s.Generate.BatchedRequests = m.BatchedRequests.Load()
+	s.Generate.MaxBatch = m.MaxBatch.Load()
+	s.Generate.PrepCacheHits = m.PrepHits.Load()
+	s.Generate.PrepCacheMisses = m.PrepMisses.Load()
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.Runtime.Goroutines = runtime.NumGoroutine()
+	s.Runtime.AllocBytes = ms.Alloc
+	s.Runtime.TotalAlloc = ms.TotalAlloc
+	s.Runtime.SysBytes = ms.Sys
+	s.Runtime.HeapObjects = ms.HeapObjects
+	s.Runtime.NumGC = ms.NumGC
+	return s
+}

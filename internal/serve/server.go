@@ -1,0 +1,411 @@
+// Package serve implements gendt-serve: a long-lived HTTP JSON inference
+// service over trained GenDT models. It holds the dataset world resident
+// (route annotation without per-request world rebuilds), keeps a registry
+// of hot-reloadable models, and admits concurrent /v1/generate requests
+// through a micro-batching layer that coalesces them into single
+// GenerateJobs calls against the parallel generation engine. Every sample
+// is generated from a model clone seeded per (request seed, sample index),
+// so responses are bit-identical for a fixed (model, route, seed)
+// regardless of batching, concurrency, or worker count.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"gendt/internal/core"
+	"gendt/internal/export"
+	"gendt/internal/geo"
+)
+
+// Options configures a Server. Zero fields take the defaults below.
+type Options struct {
+	Registry *Registry
+	World    *World
+
+	// BatchWindow is how long the admission layer waits to coalesce
+	// concurrent requests into one batch; 0 batches only what is already
+	// queued (no added latency).
+	BatchWindow time.Duration
+	// MaxBatch caps the generation jobs coalesced per batch.
+	MaxBatch int
+	// Timeout bounds each request's generation (queue wait included).
+	Timeout time.Duration
+	// MaxBody bounds the request body in bytes.
+	MaxBody int64
+	// MaxSamples caps the per-request sample fan-out.
+	MaxSamples int
+	// MaxSteps caps the route length in samples.
+	MaxSteps int
+}
+
+// Serving defaults.
+const (
+	DefaultTimeout    = 30 * time.Second
+	DefaultMaxBody    = 8 << 20 // 8 MiB of route JSON/CSV
+	DefaultMaxSamples = 64
+	DefaultMaxSteps   = 50000
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = DefaultTimeout
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = DefaultMaxBody
+	}
+	if o.MaxSamples <= 0 {
+		o.MaxSamples = DefaultMaxSamples
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = DefaultMaxSteps
+	}
+	return o
+}
+
+// Server is the HTTP inference service.
+type Server struct {
+	opt Options
+	met *Metrics
+	mux *http.ServeMux
+
+	mu       sync.Mutex
+	batchers map[string]*Batcher
+	seedSeq  func() int64 // nondeterministic seeds for requests that omit one
+}
+
+// New builds a Server from loaded options; Registry and World must be set.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:      opt,
+		met:      NewMetrics(EndpointGenerate, EndpointModels, EndpointHealth, EndpointVars, EndpointReload),
+		batchers: make(map[string]*Batcher),
+	}
+	var seedMu sync.Mutex
+	next := time.Now().UnixNano()
+	s.seedSeq = func() int64 {
+		seedMu.Lock()
+		defer seedMu.Unlock()
+		next++
+		return next
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc(EndpointGenerate, s.instrument(EndpointGenerate, http.MethodPost, s.handleGenerate))
+	s.mux.HandleFunc(EndpointModels, s.instrument(EndpointModels, http.MethodGet, s.handleModels))
+	s.mux.HandleFunc(EndpointHealth, s.instrument(EndpointHealth, http.MethodGet, s.handleHealth))
+	s.mux.HandleFunc(EndpointVars, s.instrument(EndpointVars, http.MethodGet, s.handleVars))
+	s.mux.HandleFunc(EndpointReload, s.instrument(EndpointReload, http.MethodPost, s.handleReload))
+	return s
+}
+
+// Endpoint paths.
+const (
+	EndpointGenerate = "/v1/generate"
+	EndpointModels   = "/v1/models"
+	EndpointHealth   = "/healthz"
+	EndpointVars     = "/debug/vars"
+	EndpointReload   = "/admin/reload"
+)
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics state (tests and the /debug/vars
+// handler read it).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// Close drains every batcher: admitted requests finish, new ones get 503.
+func (s *Server) Close() {
+	s.mu.Lock()
+	bs := make([]*Batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		bs = append(bs, b)
+	}
+	s.mu.Unlock()
+	for _, b := range bs {
+		b.Close()
+	}
+}
+
+// Reload re-reads every registered model from disk (SIGHUP handler and
+// POST /admin/reload both land here).
+func (s *Server) Reload() ([]ReloadStatus, int) { return s.opt.Registry.Reload() }
+
+// batcher returns (creating if needed) the admission layer for a model.
+func (s *Server) batcher(name string) *Batcher {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.batchers[name]; ok {
+		return b
+	}
+	reg := s.opt.Registry
+	b := NewBatcher(func() *core.Model {
+		m, _ := reg.Get(name)
+		return m
+	}, s.opt.BatchWindow, s.opt.MaxBatch, s.met)
+	s.batchers[name] = b
+	return b
+}
+
+// instrument wraps a handler with method filtering, request counting,
+// in-flight tracking, and latency observation.
+func (s *Server) instrument(name, method string, h http.HandlerFunc) http.HandlerFunc {
+	st := s.met.Endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != method {
+			w.Header().Set("Allow", method)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Sprintf("use %s", method))
+			return
+		}
+		st.Requests.Add(1)
+		st.InFlight.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		st.InFlight.Add(-1)
+		st.Latency.Observe(time.Since(start))
+		if sw.code >= 400 {
+			st.Errors.Add(1)
+		}
+	}
+}
+
+// statusWriter records the response code for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// RoutePoint is one JSON route sample.
+type RoutePoint struct {
+	T   float64 `json:"t"`
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// GenerateRequest is the /v1/generate request body. Exactly one of Route
+// and RouteCSV must be set.
+type GenerateRequest struct {
+	// Model selects a registry entry; empty works when one model is loaded.
+	Model string `json:"model,omitempty"`
+	// Seed makes the response deterministic; 0 draws a fresh seed (echoed
+	// back in the response so the result can be reproduced).
+	Seed int64 `json:"seed,omitempty"`
+	// Samples fans the request out into N independent generations; the
+	// response then carries a min/max/mean envelope (paper Figure 9).
+	Samples int `json:"samples,omitempty"`
+	// Route is the trajectory as JSON points.
+	Route []RoutePoint `json:"route,omitempty"`
+	// RouteCSV is the trajectory as "t,lat,lon" CSV (gendt-route output).
+	RouteCSV string `json:"route_csv,omitempty"`
+}
+
+// EnvelopeJSON is the per-channel min/max/mean over the request's samples.
+type EnvelopeJSON struct {
+	Min  [][]float64 `json:"min"`
+	Max  [][]float64 `json:"max"`
+	Mean [][]float64 `json:"mean"`
+}
+
+// GenerateResponse is the /v1/generate response body. Series holds the
+// first sample in physical units, indexed [channel][t].
+type GenerateResponse struct {
+	Model      string        `json:"model"`
+	Seed       int64         `json:"seed"`
+	Samples    int           `json:"samples"`
+	Channels   []string      `json:"channels"`
+	IntervalS  float64       `json:"interval_s"`
+	Steps      int           `json:"steps"`
+	Series     [][]float64   `json:"series"`
+	Envelope   *EnvelopeJSON `json:"envelope,omitempty"`
+	PrepCached bool          `json:"prep_cached"`
+	GenMs      float64       `json:"gen_ms"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBody)
+	var req GenerateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+		return
+	}
+
+	tr, err := req.trajectory(s.opt.MaxSteps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	name, model, ok := s.opt.Registry.Resolve(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q (have %s)",
+			req.Model, strings.Join(s.opt.Registry.Names(), ", ")))
+		return
+	}
+	samples := req.Samples
+	if samples <= 0 {
+		samples = 1
+	}
+	if samples > s.opt.MaxSamples {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("samples %d exceeds limit %d", samples, s.opt.MaxSamples))
+		return
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.seedSeq()
+	}
+
+	seq, cached := s.opt.World.Prepare(tr, model)
+	if cached {
+		s.met.PrepHits.Add(1)
+	} else {
+		s.met.PrepMisses.Add(1)
+	}
+
+	jobs := make([]core.GenJob, samples)
+	for i := range jobs {
+		jobs[i] = core.GenJob{Seq: seq, Seed: core.DeriveSeed(seed, i)}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opt.Timeout)
+	defer cancel()
+	start := time.Now()
+	outs, err := s.batcher(name).Generate(ctx, jobs)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "generation timed out")
+		default:
+			writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+
+	resp := GenerateResponse{
+		Model:      name,
+		Seed:       seed,
+		Samples:    samples,
+		IntervalS:  seq.Interval,
+		Steps:      seq.Len(),
+		Series:     outs[0],
+		PrepCached: cached,
+		GenMs:      float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, ch := range model.Cfg.Channels {
+		resp.Channels = append(resp.Channels, ch.Name)
+	}
+	if samples > 1 {
+		min, max, mean := core.Envelope(outs)
+		resp.Envelope = &EnvelopeJSON{Min: min, Max: max, Mean: mean}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// trajectory converts the request's route into a geo.Trajectory.
+func (req *GenerateRequest) trajectory(maxSteps int) (geo.Trajectory, error) {
+	if len(req.Route) > 0 && req.RouteCSV != "" {
+		return nil, errors.New("set route or route_csv, not both")
+	}
+	var tr geo.Trajectory
+	switch {
+	case len(req.Route) > 0:
+		tr = make(geo.Trajectory, len(req.Route))
+		for i, p := range req.Route {
+			tr[i] = geo.Sample{Point: geo.Point{Lat: p.Lat, Lon: p.Lon}, T: p.T}
+		}
+	case req.RouteCSV != "":
+		var err error
+		tr, err = export.ReadTrajectoryCSV(strings.NewReader(req.RouteCSV))
+		if err != nil {
+			return nil, fmt.Errorf("route_csv: %w", err)
+		}
+	default:
+		return nil, errors.New("missing route: set route (JSON points) or route_csv")
+	}
+	if len(tr) < 2 {
+		return nil, fmt.Errorf("route needs at least 2 samples, got %d", len(tr))
+	}
+	if len(tr) > maxSteps {
+		return nil, fmt.Errorf("route has %d samples, limit %d", len(tr), maxSteps)
+	}
+	return tr, nil
+}
+
+// ModelsResponse is the /v1/models response body.
+type ModelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ModelsResponse{Models: s.opt.Registry.List()})
+}
+
+// HealthResponse is the /healthz response body.
+type HealthResponse struct {
+	Status  string  `json:"status"`
+	Models  int     `json:"models"`
+	World   string  `json:"world"`
+	UptimeS float64 `json:"uptime_s"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Models:  len(s.opt.Registry.Names()),
+		World:   s.opt.World.Name(),
+		UptimeS: time.Since(s.met.start).Seconds(),
+	})
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.met.Snapshot())
+}
+
+// ReloadResponse is the /admin/reload response body.
+type ReloadResponse struct {
+	Models   []ReloadStatus `json:"models"`
+	Failures int            `json:"failures"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, _ *http.Request) {
+	statuses, failures := s.Reload()
+	code := http.StatusOK
+	if failures > 0 {
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, ReloadResponse{Models: statuses, Failures: failures})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
