@@ -131,6 +131,10 @@ func main() {
 	go func() {
 		<-ctx.Done()
 		logger.Print("shutting down: draining in-flight requests")
+		// Flip into draining first: new requests get 503 + Retry-After
+		// and /healthz fails, so balancers route away while in-flight
+		// work finishes under Shutdown.
+		srv.StartDrain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,153 @@
+package ckpt
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrInjected is the error returned by every injected fault.
+var ErrInjected = errors.New("ckpt: injected fault")
+
+// ChaosOpts selects which operations fail. Counts are 1-based and global
+// per ChaosFS: FailWrite=3 fails the third Write call made through the
+// filesystem, and every write after it (a crashed process does not come
+// back). Zero disables that fault.
+type ChaosOpts struct {
+	FailWrite  int // fail the n-th (and subsequent) Write
+	FailSync   int // fail the n-th (and subsequent) file Sync
+	FailRename int // fail the n-th (and subsequent) Rename
+	FailCreate int // fail the n-th (and subsequent) Create
+
+	// Torn makes a failing Write first land a prefix of the buffer (half,
+	// rounded down) before reporting the error — the classic torn write.
+	Torn bool
+
+	// TruncateFile silently truncates the n-th created file to half its
+	// written size on Close while still reporting success: the model for a
+	// file whose tail never reached disk even though the writer believed
+	// it had (e.g. a lost page cache without the protocol's fsync). Used
+	// to prove the CRC manifest catches corruption that atomic rename
+	// alone cannot.
+	TruncateFile int
+}
+
+// ChaosFS wraps a base FS and injects the configured faults. It is safe
+// for concurrent use and counts operations process-wide, so a test can
+// sweep "fail at operation k" across an entire checkpoint write.
+type ChaosFS struct {
+	Base FS
+	Opts ChaosOpts
+
+	mu      sync.Mutex
+	writes  int
+	syncs   int
+	renames int
+	creates int
+}
+
+// NewChaosFS wraps base with the given fault plan.
+func NewChaosFS(base FS, opts ChaosOpts) *ChaosFS {
+	return &ChaosFS{Base: base, Opts: opts}
+}
+
+// Counts reports how many writes, syncs, renames, and creates have been
+// attempted, letting a sweep test size its fault schedule to the real
+// operation count of one checkpoint write.
+func (c *ChaosFS) Counts() (writes, syncs, renames, creates int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writes, c.syncs, c.renames, c.creates
+}
+
+func (c *ChaosFS) MkdirAll(path string, perm os.FileMode) error {
+	return c.Base.MkdirAll(path, perm)
+}
+
+func (c *ChaosFS) Create(name string) (File, error) {
+	c.mu.Lock()
+	c.creates++
+	n := c.creates
+	fail := c.Opts.FailCreate > 0 && n >= c.Opts.FailCreate
+	trunc := c.Opts.TruncateFile > 0 && n == c.Opts.TruncateFile
+	c.mu.Unlock()
+	if fail {
+		return nil, ErrInjected
+	}
+	f, err := c.Base.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosFile{fs: c, f: f, truncate: trunc}, nil
+}
+
+func (c *ChaosFS) Rename(oldpath, newpath string) error {
+	c.mu.Lock()
+	c.renames++
+	fail := c.Opts.FailRename > 0 && c.renames >= c.Opts.FailRename
+	c.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return c.Base.Rename(oldpath, newpath)
+}
+
+func (c *ChaosFS) Remove(name string) error { return c.Base.Remove(name) }
+
+func (c *ChaosFS) ReadDir(name string) ([]os.DirEntry, error) { return c.Base.ReadDir(name) }
+
+func (c *ChaosFS) ReadFile(name string) ([]byte, error) { return c.Base.ReadFile(name) }
+
+func (c *ChaosFS) SyncDir(name string) error { return c.Base.SyncDir(name) }
+
+// chaosFile applies write/sync faults and close-time truncation to one file.
+type chaosFile struct {
+	fs       *ChaosFS
+	f        File
+	truncate bool
+	written  int64
+}
+
+func (cf *chaosFile) Write(p []byte) (int, error) {
+	c := cf.fs
+	c.mu.Lock()
+	c.writes++
+	fail := c.Opts.FailWrite > 0 && c.writes >= c.Opts.FailWrite
+	torn := c.Opts.Torn
+	c.mu.Unlock()
+	if fail {
+		if torn && len(p) > 1 {
+			n, _ := cf.f.Write(p[:len(p)/2])
+			cf.written += int64(n)
+			return n, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	n, err := cf.f.Write(p)
+	cf.written += int64(n)
+	return n, err
+}
+
+func (cf *chaosFile) Sync() error {
+	c := cf.fs
+	c.mu.Lock()
+	c.syncs++
+	fail := c.Opts.FailSync > 0 && c.syncs >= c.Opts.FailSync
+	c.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return cf.f.Sync()
+}
+
+func (cf *chaosFile) Truncate(size int64) error { return cf.f.Truncate(size) }
+
+func (cf *chaosFile) Close() error {
+	if cf.truncate && cf.written > 1 {
+		if err := cf.f.Truncate(cf.written / 2); err != nil {
+			cf.f.Close()
+			return err
+		}
+	}
+	return cf.f.Close()
+}

@@ -1,0 +1,177 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// saveOpCount measures how many writes/syncs/renames one Store.Save of the
+// given payload performs, so sweep tests can schedule a fault at every
+// possible point.
+func saveOpCount(t *testing.T, data []byte) (writes, syncs, renames int) {
+	t.Helper()
+	chaos := NewChaosFS(OSFS{}, ChaosOpts{})
+	s, err := NewStore(chaos, t.TempDir()+"/probe", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(1, 0.5, data); err != nil {
+		t.Fatal(err)
+	}
+	w, sy, r, _ := chaos.Counts()
+	return w, sy, r
+}
+
+// TestRecoverySurvivesEveryWriteFault is the core fault-injection sweep:
+// for every operation index k of a checkpoint write, fail writes (plain
+// and torn), syncs, and renames starting at k, then prove that recovery
+// still returns a fully valid checkpoint — the new one if the write got
+// far enough, otherwise the previous one — and never a torn payload.
+func TestRecoverySurvivesEveryWriteFault(t *testing.T) {
+	oldData, newData := payload(1), payload(2)
+	wN, sN, rN := saveOpCount(t, newData)
+	if wN == 0 || sN == 0 || rN == 0 {
+		t.Fatalf("probe found no ops (w=%d s=%d r=%d)", wN, sN, rN)
+	}
+
+	type plan struct {
+		name string
+		opts ChaosOpts
+	}
+	var plans []plan
+	for k := 1; k <= wN; k++ {
+		plans = append(plans,
+			plan{name: "write", opts: ChaosOpts{FailWrite: k}},
+			plan{name: "torn-write", opts: ChaosOpts{FailWrite: k, Torn: true}},
+		)
+	}
+	for k := 1; k <= sN; k++ {
+		plans = append(plans, plan{name: "sync", opts: ChaosOpts{FailSync: k}})
+	}
+	for k := 1; k <= rN; k++ {
+		plans = append(plans, plan{name: "rename", opts: ChaosOpts{FailRename: k}})
+	}
+
+	for _, p := range plans {
+		// Epoch 1 lands cleanly; epoch 2's write runs under injected faults.
+		dir := t.TempDir() + "/ckpts"
+		clean, err := NewStore(OSFS{}, dir, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := clean.Save(1, 0.9, oldData); err != nil {
+			t.Fatal(err)
+		}
+		chaos := NewChaosFS(OSFS{}, p.opts)
+		faulty, err := NewStore(chaos, dir, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saveErr := faulty.Save(2, 0.5, newData)
+		if saveErr != nil && !errors.Is(saveErr, ErrInjected) {
+			t.Fatalf("%s %+v: save failed with non-injected error %v", p.name, p.opts, saveErr)
+		}
+
+		// Recovery runs on the pristine filesystem (the process restarted).
+		man, got, err := clean.Latest()
+		if err != nil {
+			t.Fatalf("%s %+v: no checkpoint recovered: %v", p.name, p.opts, err)
+		}
+		switch man.Epoch {
+		case 1:
+			if !bytes.Equal(got, oldData) {
+				t.Fatalf("%s %+v: epoch 1 payload corrupted", p.name, p.opts)
+			}
+			if saveErr == nil {
+				t.Fatalf("%s %+v: save reported success but recovery sees only epoch 1", p.name, p.opts)
+			}
+		case 2:
+			if !bytes.Equal(got, newData) {
+				t.Fatalf("%s %+v: recovered torn epoch-2 payload", p.name, p.opts)
+			}
+		default:
+			t.Fatalf("%s %+v: recovered unexpected epoch %d", p.name, p.opts, man.Epoch)
+		}
+	}
+}
+
+// TestRecoverySkipsSilentTruncation models a filesystem that loses a
+// file's tail despite the writer believing the write completed: the CRC
+// manifest must catch it and recovery must fall back to the previous
+// checkpoint.
+func TestRecoverySkipsSilentTruncation(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	clean, err := NewStore(OSFS{}, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Save(1, 0.9, payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	// File #1 of the faulty save is epoch 2's payload tmp: it is silently
+	// truncated at Close, then renamed into place; the manifest (file #2)
+	// lands intact, describing bytes that are no longer all there.
+	chaos := NewChaosFS(OSFS{}, ChaosOpts{TruncateFile: 1})
+	faulty, err := NewStore(chaos, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.Save(2, 0.5, payload(2)); err != nil {
+		t.Fatalf("silent truncation must not surface at save time: %v", err)
+	}
+	man, got, err := clean.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 1 || !bytes.Equal(got, payload(1)) {
+		t.Fatalf("Latest = epoch %d, want fallback to epoch 1", man.Epoch)
+	}
+}
+
+// TestChaosCreateFault checks a failed Create surfaces as an injected
+// error and leaves the directory recoverable.
+func TestChaosCreateFault(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	clean, err := NewStore(OSFS{}, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Save(1, 0.9, payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	chaos := NewChaosFS(OSFS{}, ChaosOpts{FailCreate: 1})
+	faulty, err := NewStore(chaos, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faulty.Save(2, 0.5, payload(2)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("save err = %v, want injected", err)
+	}
+	if man, _, err := clean.Latest(); err != nil || man.Epoch != 1 {
+		t.Fatalf("Latest = %v epoch %d, want epoch 1", err, man.Epoch)
+	}
+}
+
+// TestWriteFileAtomicNeverLeavesTornTarget checks the primitive directly:
+// under a torn write the destination path either keeps its old content or
+// does not exist; the torn bytes stay in the ignored .tmp at worst.
+func TestWriteFileAtomicNeverLeavesTornTarget(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/file.json"
+	if err := WriteFileAtomic(OSFS{}, path, []byte("old-content")); err != nil {
+		t.Fatal(err)
+	}
+	chaos := NewChaosFS(OSFS{}, ChaosOpts{FailWrite: 1, Torn: true})
+	err := WriteFileAtomic(chaos, path, []byte("new-content-that-tears"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	got, err := OSFS{}.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old-content" {
+		t.Fatalf("target holds %q after torn write, want old content", got)
+	}
+}

@@ -1,0 +1,210 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Manifest describes one checkpoint on disk. The payload lives in a
+// sibling file; the manifest records its identity and a CRC32 (IEEE) over
+// its exact bytes, so recovery can tell a complete checkpoint from a torn
+// or bit-rotted one without parsing the payload.
+type Manifest struct {
+	Version int     `json:"version"`
+	Epoch   int     `json:"epoch"`
+	Payload string  `json:"payload"` // payload file name, relative to the dir
+	Size    int64   `json:"size"`    // payload byte length
+	CRC32   uint32  `json:"crc32"`   // IEEE CRC of the payload bytes
+	Score   float64 `json:"score"`   // retention score (training MSE; lower is better)
+}
+
+// manifestVersion is the current manifest schema version.
+const manifestVersion = 1
+
+// ErrNoCheckpoint is returned by Latest when the directory holds no valid
+// checkpoint.
+var ErrNoCheckpoint = errors.New("ckpt: no valid checkpoint")
+
+// Store reads and writes checkpoints in one directory through an
+// injectable filesystem. Not safe for concurrent use by multiple writers;
+// one training process owns a checkpoint directory.
+type Store struct {
+	fs   FS
+	dir  string
+	keep int // retain the newest `keep` checkpoints (plus the best-scoring one)
+}
+
+// DefaultKeep is the retention depth when NewStore is given keep <= 0.
+const DefaultKeep = 3
+
+// NewStore opens (creating if needed) a checkpoint directory on fsys.
+// keep <= 0 selects DefaultKeep. Pass OSFS{} for the real filesystem.
+func NewStore(fsys FS, dir string, keep int) (*Store, error) {
+	if keep <= 0 {
+		keep = DefaultKeep
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ckpt: mkdir %s: %w", dir, err)
+	}
+	return &Store{fs: fsys, dir: dir, keep: keep}, nil
+}
+
+func payloadName(epoch int) string  { return fmt.Sprintf("ckpt-%08d.json", epoch) }
+func manifestName(epoch int) string { return fmt.Sprintf("ckpt-%08d.manifest.json", epoch) }
+
+const manifestSuffix = ".manifest.json"
+
+// Save durably writes one checkpoint: the payload first (atomically), then
+// its manifest (atomically). Ordering matters — a manifest only ever
+// describes a payload that is already durable, so a crash between the two
+// leaves an orphan payload that recovery ignores, never a manifest without
+// its payload bytes. After a successful write, retention prunes old
+// checkpoints.
+func (s *Store) Save(epoch int, score float64, payload []byte) error {
+	if err := WriteFileAtomic(s.fs, filepath.Join(s.dir, payloadName(epoch)), payload); err != nil {
+		return err
+	}
+	man := Manifest{
+		Version: manifestVersion,
+		Epoch:   epoch,
+		Payload: payloadName(epoch),
+		Size:    int64(len(payload)),
+		CRC32:   crc32.ChecksumIEEE(payload),
+		Score:   score,
+	}
+	mb, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("ckpt: marshal manifest: %w", err)
+	}
+	if err := WriteFileAtomic(s.fs, filepath.Join(s.dir, manifestName(epoch)), mb); err != nil {
+		return err
+	}
+	return s.prune()
+}
+
+// List returns every *valid-looking* manifest in the directory, newest
+// epoch first. Manifests that fail to parse are skipped (a torn manifest
+// is equivalent to no manifest); payload validation happens at load time.
+func (s *Store) List() []Manifest {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var out []Manifest
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, manifestSuffix) || strings.HasSuffix(name, tmpSuffix) {
+			continue
+		}
+		data, err := s.fs.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var m Manifest
+		if err := json.Unmarshal(data, &m); err != nil || m.Version != manifestVersion || m.Payload == "" {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch > out[j].Epoch })
+	return out
+}
+
+// verify loads and checks one manifest's payload bytes.
+func (s *Store) verify(m Manifest) ([]byte, error) {
+	data, err := s.fs.ReadFile(filepath.Join(s.dir, m.Payload))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != m.Size {
+		return nil, fmt.Errorf("ckpt: %s: size %d, manifest says %d", m.Payload, len(data), m.Size)
+	}
+	if crc := crc32.ChecksumIEEE(data); crc != m.CRC32 {
+		return nil, fmt.Errorf("ckpt: %s: crc %08x, manifest says %08x", m.Payload, crc, m.CRC32)
+	}
+	return data, nil
+}
+
+// Latest returns the newest checkpoint whose payload verifies against its
+// manifest, falling back through older checkpoints past any torn or
+// corrupt one. ErrNoCheckpoint means the directory holds nothing usable.
+func (s *Store) Latest() (Manifest, []byte, error) {
+	for _, m := range s.List() {
+		data, err := s.verify(m)
+		if err != nil {
+			continue
+		}
+		return m, data, nil
+	}
+	return Manifest{}, nil, ErrNoCheckpoint
+}
+
+// Load returns the verified payload of one specific epoch.
+func (s *Store) Load(epoch int) (Manifest, []byte, error) {
+	for _, m := range s.List() {
+		if m.Epoch != epoch {
+			continue
+		}
+		data, err := s.verify(m)
+		if err != nil {
+			return Manifest{}, nil, err
+		}
+		return m, data, nil
+	}
+	return Manifest{}, nil, ErrNoCheckpoint
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// prune applies retention: keep the newest s.keep checkpoints plus the
+// best-scoring (lowest Score) one, delete the rest. Orphan payloads and
+// stale .tmp files from crashed writes are also swept. Prune errors are
+// non-fatal to Save — the checkpoint itself is already durable — but the
+// first one is reported so operators notice a dirty directory.
+func (s *Store) prune() error {
+	mans := s.List()
+	if len(mans) == 0 {
+		return nil
+	}
+	keep := make(map[int]bool, s.keep+1)
+	for i := 0; i < len(mans) && i < s.keep; i++ {
+		keep[mans[i].Epoch] = true
+	}
+	best := mans[0]
+	for _, m := range mans[1:] {
+		if m.Score < best.Score {
+			best = m
+		}
+	}
+	keep[best.Epoch] = true
+
+	keepFile := make(map[string]bool, 2*len(keep))
+	for _, m := range mans {
+		if keep[m.Epoch] {
+			keepFile[manifestName(m.Epoch)] = true
+			keepFile[m.Payload] = true
+		}
+	}
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || keepFile[name] || !strings.HasPrefix(name, "ckpt-") {
+			continue
+		}
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && firstErr == nil && !os.IsNotExist(err) {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

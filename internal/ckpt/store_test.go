@@ -1,0 +1,170 @@
+package ckpt
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func payload(epoch int) []byte {
+	return bytes.Repeat([]byte(fmt.Sprintf("checkpoint-%d ", epoch)), 32)
+}
+
+func mustSave(t *testing.T, s *Store, epoch int, score float64) {
+	t.Helper()
+	if err := s.Save(epoch, score, payload(epoch)); err != nil {
+		t.Fatalf("save epoch %d: %v", epoch, err)
+	}
+}
+
+func TestStoreSaveLatestRoundTrip(t *testing.T) {
+	s, err := NewStore(OSFS{}, t.TempDir()+"/ckpts", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Latest(); err != ErrNoCheckpoint {
+		t.Fatalf("empty dir Latest err = %v, want ErrNoCheckpoint", err)
+	}
+	mustSave(t, s, 1, 0.5)
+	mustSave(t, s, 2, 0.4)
+	man, data, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 2 || !bytes.Equal(data, payload(2)) {
+		t.Fatalf("Latest = epoch %d (%d bytes), want epoch 2", man.Epoch, len(data))
+	}
+	if _, data, err := s.Load(1); err != nil || !bytes.Equal(data, payload(1)) {
+		t.Fatalf("Load(1) = %v", err)
+	}
+}
+
+func TestStoreRetentionKeepsLastKAndBest(t *testing.T) {
+	s, err := NewStore(OSFS{}, t.TempDir()+"/ckpts", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2 has the best score and must survive even when out of the
+	// last-2 window.
+	scores := map[int]float64{1: 0.9, 2: 0.1, 3: 0.8, 4: 0.7, 5: 0.6}
+	for ep := 1; ep <= 5; ep++ {
+		mustSave(t, s, ep, scores[ep])
+	}
+	mans := s.List()
+	got := map[int]bool{}
+	for _, m := range mans {
+		got[m.Epoch] = true
+	}
+	want := map[int]bool{5: true, 4: true, 2: true}
+	if len(got) != len(want) {
+		t.Fatalf("retained epochs %v, want %v", got, want)
+	}
+	for ep := range want {
+		if !got[ep] {
+			t.Errorf("epoch %d missing after prune", ep)
+		}
+		if _, _, err := s.Load(ep); err != nil {
+			t.Errorf("retained epoch %d unreadable: %v", ep, err)
+		}
+	}
+}
+
+func TestStorePruneSweepsTmpAndOrphans(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	s, err := NewStore(OSFS{}, dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stale tmp from a crashed write and an orphan payload without a
+	// manifest must both be swept by the next successful save.
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-00000009.json.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-00000007.json"), []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, s, 10, 0.5)
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != payloadName(10) && e.Name() != manifestName(10) {
+			t.Errorf("unexpected survivor %s", e.Name())
+		}
+	}
+}
+
+func TestStoreSkipsBitFlippedPayload(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	s, err := NewStore(OSFS{}, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, s, 1, 0.5)
+	mustSave(t, s, 2, 0.4)
+	// Flip one bit in the newest payload behind the store's back.
+	p := filepath.Join(dir, payloadName(2))
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x20
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, got, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 1 || !bytes.Equal(got, payload(1)) {
+		t.Fatalf("Latest after bit flip = epoch %d, want fallback to epoch 1", man.Epoch)
+	}
+	if _, _, err := s.Load(2); err == nil {
+		t.Fatal("Load(2) of corrupt payload should fail")
+	}
+}
+
+func TestStoreSkipsTruncatedPayload(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	s, err := NewStore(OSFS{}, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, s, 1, 0.5)
+	mustSave(t, s, 2, 0.4)
+	p := filepath.Join(dir, payloadName(2))
+	if err := os.Truncate(p, int64(len(payload(2))/2)); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 1 {
+		t.Fatalf("Latest after truncation = epoch %d, want 1", man.Epoch)
+	}
+}
+
+func TestStoreSkipsTornManifest(t *testing.T) {
+	dir := t.TempDir() + "/ckpts"
+	s, err := NewStore(OSFS{}, dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSave(t, s, 1, 0.5)
+	// A half-written manifest (no atomic rename protecting it in this
+	// simulated scenario) must read as "no checkpoint 2".
+	if err := os.WriteFile(filepath.Join(dir, manifestName(2)), []byte(`{"version":1,"epo`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	man, _, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Epoch != 1 {
+		t.Fatalf("Latest with torn manifest = epoch %d, want 1", man.Epoch)
+	}
+}

@@ -21,12 +21,13 @@ func (m *Model) Generate(seq *Sequence) [][]float64 {
 // when positive.
 func (m *Model) GenerateIndependent(seq *Sequence, batchLen int) [][]float64 {
 	saved := m.Cfg.BatchLen
+	// Restore via defer: a panic mid-generation must not leave the model
+	// with a mutated batch length.
+	defer func() { m.Cfg.BatchLen = saved }()
 	if batchLen > 0 {
 		m.Cfg.BatchLen = batchLen
 	}
-	out := m.generate(seq, false)
-	m.Cfg.BatchLen = saved
-	return out
+	return m.generate(seq, false)
 }
 
 func (m *Model) generate(seq *Sequence, carryLags bool) [][]float64 {

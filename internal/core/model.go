@@ -146,7 +146,8 @@ type Model struct {
 	genOpt  *nn.Adam
 	discOpt *nn.Adam
 
-	rng *rand.Rand
+	rng    *rand.Rand
+	rngSrc *trackedSource // rng's source; checkpointing snapshots/restores it
 
 	// Reusable per-window scratch. A Model is not safe for concurrent use;
 	// the data-parallel paths give each worker its own Clone instead of
@@ -169,12 +170,13 @@ type Model struct {
 // NewModel constructs a GenDT model from the config.
 func NewModel(cfg Config) *Model {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := newTrackedSource(cfg.Seed)
+	rng := rand.New(src)
 	nch := len(cfg.Channels)
 	if nch == 0 {
 		panic("core: Config.Channels must be non-empty")
 	}
-	m := &Model{Cfg: cfg, rng: rng}
+	m := &Model{Cfg: cfg, rng: rng, rngSrc: src}
 	m.node = nn.NewLSTM(cfg.CellDim()+cfg.NoiseDim, cfg.Hidden, rng)
 	m.agg = nn.NewLSTM(cfg.Hidden, cfg.Hidden, rng)
 	m.aggOut = nn.NewLinear(cfg.Hidden, nch, rng)
@@ -198,8 +200,9 @@ func NewModel(cfg Config) *Model {
 // forward/backward passes concurrently; the data-parallel trainer and the
 // parallel generation/uncertainty paths are built on this.
 func (m *Model) Clone(seed int64) *Model {
-	rng := rand.New(rand.NewSource(seed))
-	c := &Model{Cfg: m.Cfg, rng: rng}
+	src := newTrackedSource(seed)
+	rng := rand.New(src)
+	c := &Model{Cfg: m.Cfg, rng: rng, rngSrc: src}
 	c.node = m.node.Clone(rng)
 	c.agg = m.agg.Clone(rng)
 	c.aggOut = m.aggOut.Clone()

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
+	"gendt/internal/ckpt"
 	"gendt/internal/nn"
 	"gendt/internal/radio"
 )
@@ -53,14 +56,95 @@ type cfgSnap struct {
 	Workers   int     `json:"workers,omitempty"`
 }
 
+// maxDim bounds every persisted size field. NewModel allocates O(dim²)
+// memory from these, so a corrupt or hostile file must not be able to
+// demand an absurd architecture (found by fuzzing: a negative or huge
+// dimension panicked or OOMed the loader).
+const maxDim = 1 << 16
+
+// maxChannels bounds the channel list (there are only 5 nameable channels,
+// but duplicates are legal).
+const maxChannels = 64
+
+// validate rejects config snapshots no real model could have produced.
+func (c cfgSnap) validate(nChannels int) error {
+	if nChannels < 1 || nChannels > maxChannels {
+		return fmt.Errorf("core: load: %d channels (want 1..%d)", nChannels, maxChannels)
+	}
+	for _, d := range []struct {
+		name string
+		v    int
+	}{
+		{"hidden", c.Hidden}, {"noise_dim", c.NoiseDim}, {"res_noise", c.ResNoise},
+		{"lags", c.Lags}, {"batch_len", c.BatchLen}, {"step_len", c.StepLen},
+		{"max_cells", c.MaxCells}, {"workers", c.Workers},
+	} {
+		if d.v < 0 || d.v > maxDim {
+			return fmt.Errorf("core: load: %s = %d out of range [0, %d]", d.name, d.v, maxDim)
+		}
+	}
+	if c.DropoutP < 0 || c.DropoutP >= 1 {
+		return fmt.Errorf("core: load: dropout_p = %v out of range [0, 1)", c.DropoutP)
+	}
+	return nil
+}
+
 // allParams returns generator plus discriminator parameters in a stable
 // order.
 func (m *Model) allParams() []*nn.Param {
 	return append(m.genParams(), m.discParams()...)
 }
 
-// Save writes the model (config + weights) as JSON to w.
+// checksumTrailer is the integrity record appended after the payload line:
+// a second JSON line carrying the CRC32 (IEEE) of the payload line's exact
+// bytes (newline included). Readers verify it when present; files written
+// before the trailer existed still load.
+type checksumTrailer struct {
+	CRC32 uint32 `json:"crc32"`
+}
+
+// appendChecksum appends the trailer line to a newline-terminated payload.
+func appendChecksum(payload []byte) []byte {
+	t, _ := json.Marshal(checksumTrailer{CRC32: crc32.ChecksumIEEE(payload)})
+	out := make([]byte, 0, len(payload)+len(t)+1)
+	out = append(out, payload...)
+	out = append(out, t...)
+	return append(out, '\n')
+}
+
+// splitChecksum separates a payload from its optional trailer and verifies
+// the CRC when a trailer is present.
+func splitChecksum(data []byte) ([]byte, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 || nl == len(data)-1 {
+		return data, nil // single line: no trailer (pre-checksum format)
+	}
+	payload, rest := data[:nl+1], data[nl+1:]
+	var t checksumTrailer
+	if err := json.Unmarshal(bytes.TrimSpace(rest), &t); err != nil {
+		return nil, fmt.Errorf("core: load: malformed checksum trailer: %w", err)
+	}
+	if crc := crc32.ChecksumIEEE(payload); crc != t.CRC32 {
+		return nil, fmt.Errorf("core: load: checksum mismatch (file %08x, computed %08x): truncated or corrupt model file", t.CRC32, crc)
+	}
+	return payload, nil
+}
+
+// Save writes the model (config + weights) as checksummed JSON to w: one
+// payload line followed by a CRC32 trailer line that Load verifies.
 func (m *Model) Save(w io.Writer) error {
+	data, err := m.encodeSnapshot()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// encodeSnapshot serializes the model to its on-disk byte format.
+func (m *Model) encodeSnapshot() ([]byte, error) {
 	snap := snapshot{
 		Version: 1,
 		Cfg: cfgSnap{
@@ -79,34 +163,96 @@ func (m *Model) Save(w io.Writer) error {
 	for _, p := range m.allParams() {
 		snap.Params = append(snap.Params, p.W)
 	}
-	if err := json.NewEncoder(w).Encode(snap); err != nil {
+	payload, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("core: save: %w", err)
+	}
+	return appendChecksum(append(payload, '\n')), nil
+}
+
+// SaveFile writes the model to a file atomically (temp file + fsync +
+// rename), so a crash mid-save can never leave a torn model file at path —
+// the file either keeps its previous content or holds the complete new
+// model.
+func (m *Model) SaveFile(path string) error {
+	data, err := m.encodeSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := ckpt.WriteFileAtomic(ckpt.OSFS{}, path, data); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	return nil
 }
 
-// SaveFile writes the model to a file.
-func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
+// EncodeTrainState serializes a training checkpoint to the same
+// checksummed line format as Save, so checkpoint payloads are
+// self-verifying even outside a ckpt.Store manifest.
+func EncodeTrainState(ts *TrainState) ([]byte, error) {
+	payload, err := json.Marshal(ts)
 	if err != nil {
-		return fmt.Errorf("core: save: %w", err)
+		return nil, fmt.Errorf("core: encode train state: %w", err)
 	}
-	defer f.Close()
-	if err := m.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return appendChecksum(append(payload, '\n')), nil
 }
 
-// Load reads a model saved with Save, reconstructing the architecture from
-// the embedded config and restoring all weights.
+// DecodeTrainState parses and validates a checkpoint written by
+// EncodeTrainState.
+func DecodeTrainState(data []byte) (*TrainState, error) {
+	payload, err := splitChecksum(data)
+	if err != nil {
+		return nil, err
+	}
+	var ts TrainState
+	if err := json.Unmarshal(payload, &ts); err != nil {
+		return nil, fmt.Errorf("core: decode train state: %w", err)
+	}
+	if err := ts.validate(); err != nil {
+		return nil, err
+	}
+	return &ts, nil
+}
+
+// formatProbe sniffs which on-disk format a payload line carries.
+type formatProbe struct {
+	Kind string `json:"kind"`
+}
+
+// Load reads a model saved with Save — or a training checkpoint written by
+// EncodeTrainState, from which it reconstructs the model with the
+// checkpointed weights. The optional CRC32 trailer is verified, and the
+// embedded config is validated, so a truncated, bit-flipped, or hostile
+// file returns an error rather than a broken model.
 func Load(r io.Reader) (*Model, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	payload, err := splitChecksum(data)
+	if err != nil {
+		return nil, err
+	}
+	var probe formatProbe
+	if err := json.Unmarshal(payload, &probe); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if probe.Kind == TrainStateKind {
+		var ts TrainState
+		if err := json.Unmarshal(payload, &ts); err != nil {
+			return nil, fmt.Errorf("core: load: %w", err)
+		}
+		return NewModelFromTrainState(&ts)
+	}
+
 	var snap snapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+	if err := json.Unmarshal(payload, &snap); err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
 	}
 	if snap.Version != 1 {
 		return nil, fmt.Errorf("core: load: unsupported version %d", snap.Version)
+	}
+	if err := snap.Cfg.validate(len(snap.Channels)); err != nil {
+		return nil, err
 	}
 	var chans []ChannelSpec
 	for _, name := range snap.Channels {
@@ -142,7 +288,7 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// LoadFile reads a model from a file.
+// LoadFile reads a model (or training checkpoint) from a file.
 func LoadFile(path string) (*Model, error) {
 	f, err := os.Open(path)
 	if err != nil {

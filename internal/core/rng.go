@@ -1,0 +1,73 @@
+package core
+
+import "math/rand"
+
+// RNGState pins one model RNG stream for checkpointing: the seed it was
+// created from and how many values have been drawn since. Restoring
+// replays the stream from the seed, which is exact — the underlying
+// math/rand source is a pure step function of (seed, draw count) — and
+// cheap (a few ns per draw), so resume reproduces the stream position
+// bit-for-bit without serializing private generator internals.
+type RNGState struct {
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// trackedSource wraps the stock math/rand source with a draw counter. It
+// forwards every call unchanged, so the produced stream is bit-identical
+// to rand.NewSource(seed) — the golden training fingerprints are
+// unaffected — while making the stream position observable and
+// restorable. One call to Int63 or Uint64 advances the underlying source
+// by exactly one step, so a single counter covers both.
+//
+// Only source-driven draws are tracked: rand.Rand methods that buffer
+// internally (Read) must not be used on a tracked stream. The model uses
+// Float64/NormFloat64/Shuffle/Int63n only, all of which are stateless
+// above the source.
+type trackedSource struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+// newTrackedSource seeds a fresh tracked stream.
+func newTrackedSource(seed int64) *trackedSource {
+	return &trackedSource{seed: seed, src: newSource64(seed)}
+}
+
+// newSource64 returns the stock source, asserting the Source64 fast path
+// (rand.NewSource has returned a Source64 since Go 1.8; the assertion
+// keeps rand.Rand on the same internal code path as before tracking).
+func newSource64(seed int64) rand.Source64 {
+	return rand.NewSource(seed).(rand.Source64)
+}
+
+func (t *trackedSource) Int63() int64 {
+	t.draws++
+	return t.src.Int63()
+}
+
+func (t *trackedSource) Uint64() uint64 {
+	t.draws++
+	return t.src.Uint64()
+}
+
+func (t *trackedSource) Seed(seed int64) {
+	t.seed, t.draws = seed, 0
+	t.src.Seed(seed)
+}
+
+// state snapshots the stream position.
+func (t *trackedSource) state() RNGState {
+	return RNGState{Seed: t.seed, Draws: t.draws}
+}
+
+// restore repositions the stream at s by replaying from the seed.
+func (t *trackedSource) restore(s RNGState) {
+	t.seed = s.Seed
+	t.src = newSource64(s.Seed)
+	for i := uint64(0); i < s.Draws; i++ {
+		t.src.Uint64()
+	}
+	t.draws = s.Draws
+}

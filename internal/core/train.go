@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -276,6 +277,42 @@ type TrainResult struct {
 	FinalDLoss float64
 }
 
+// EpochEvent describes one completed training epoch to an AfterEpoch hook.
+type EpochEvent struct {
+	Epoch  int     // completed epochs so far (1-based)
+	Epochs int     // total configured epochs
+	MSE    float64 // epoch mean window MSE
+	DLoss  float64 // epoch mean discriminator loss
+
+	// State captures a full resumable snapshot of training at this epoch
+	// boundary (weights, optimizer moments and counters, every RNG stream
+	// position). Building it deep-copies the model, so call it only when
+	// the snapshot will be persisted. Valid only for the duration of the
+	// hook call.
+	State func() *TrainState
+}
+
+// ErrStopTraining can be returned by an AfterEpoch hook to end training
+// cleanly after the current epoch; TrainWithOptions then returns the
+// results so far with a nil error. Any other hook error aborts training
+// and is returned as-is.
+var ErrStopTraining = errors.New("core: stop training")
+
+// TrainOpts configures a resumable training run.
+type TrainOpts struct {
+	// Logf observes progress (may be nil).
+	Logf func(format string, args ...any)
+	// Resume restarts training from a checkpoint taken by an AfterEpoch
+	// hook's State(). The model must have the checkpoint's architecture
+	// (same config), and seqs must be the same training set; the continued
+	// run is then bit-identical to one that never stopped, for both serial
+	// and data-parallel training.
+	Resume *TrainState
+	// AfterEpoch runs at each epoch boundary (after the epoch's optimizer
+	// steps). Checkpointing hooks call ev.State() and persist it.
+	AfterEpoch func(ev EpochEvent) error
+}
+
 // Train fits the model on the prepared sequences for Cfg.Epochs passes.
 // Progress can be observed via the optional logf (may be nil).
 //
@@ -288,18 +325,38 @@ type TrainResult struct {
 // back to the replicas. The result is deterministic for a fixed Seed and
 // N regardless of scheduling; see DESIGN.md, "Parallel training engine".
 func (m *Model) Train(seqs []*Sequence, logf func(format string, args ...any)) TrainResult {
-	if m.Cfg.Workers > 1 {
-		return m.trainParallel(seqs, logf)
-	}
-	return m.trainSerial(seqs, logf)
+	res, _ := m.TrainWithOptions(seqs, TrainOpts{Logf: logf})
+	return res
 }
 
-func (m *Model) trainSerial(seqs []*Sequence, logf func(format string, args ...any)) TrainResult {
+// TrainWithOptions is Train with checkpoint hooks and resume; see
+// TrainOpts. The error is non-nil only when a resume state is incompatible
+// or an AfterEpoch hook fails with something other than ErrStopTraining.
+func (m *Model) TrainWithOptions(seqs []*Sequence, opts TrainOpts) (TrainResult, error) {
+	if opts.Resume != nil {
+		if err := m.restoreTrainState(opts.Resume); err != nil {
+			return TrainResult{}, err
+		}
+	}
+	if m.Cfg.Workers > 1 {
+		return m.trainParallel(seqs, opts)
+	}
+	return m.trainSerial(seqs, opts)
+}
+
+func (m *Model) trainSerial(seqs []*Sequence, opts TrainOpts) (TrainResult, error) {
 	cfg := m.Cfg
 	nch := len(cfg.Channels)
 	wins := m.windows(seqs)
 	if len(wins) == 0 {
-		return TrainResult{}
+		return TrainResult{}, nil
+	}
+	start := 0
+	if opts.Resume != nil {
+		if n := len(opts.Resume.WorkerRNGs); n > 0 {
+			return TrainResult{}, fmt.Errorf("core: resume: checkpoint was taken with %d workers; set Workers accordingly", n)
+		}
+		start = opts.Resume.Epoch
 	}
 	m.SetNoise(true)
 	if m.res != nil {
@@ -307,11 +364,19 @@ func (m *Model) trainSerial(seqs []*Sequence, logf func(format string, args ...a
 	}
 	var res TrainResult
 	res.Windows = len(wins)
+	if opts.Resume != nil {
+		res.FinalMSE, res.FinalDLoss = opts.Resume.FinalMSE, opts.Resume.FinalDLoss
+	}
 	order := make([]int, len(wins))
 	for i := range order {
 		order[i] = i
 	}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	if opts.Resume != nil {
+		if err := restoreWindowOrder(order, opts.Resume); err != nil {
+			return res, err
+		}
+	}
+	for epoch := start; epoch < cfg.Epochs; epoch++ {
 		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var mseSum, dSum float64
 		for _, wi := range order {
@@ -369,11 +434,35 @@ func (m *Model) trainSerial(seqs []*Sequence, logf func(format string, args ...a
 		}
 		res.FinalMSE = mseSum / float64(len(wins))
 		res.FinalDLoss = dSum / float64(len(wins))
-		if logf != nil {
-			logf("epoch %d/%d: mse=%.5f dloss=%.4f", epoch+1, cfg.Epochs, res.FinalMSE, res.FinalDLoss)
+		if opts.Logf != nil {
+			opts.Logf("epoch %d/%d: mse=%.5f dloss=%.4f", epoch+1, cfg.Epochs, res.FinalMSE, res.FinalDLoss)
+		}
+		if err := m.fireAfterEpoch(opts, epoch+1, res, nil, order); err != nil {
+			if errors.Is(err, ErrStopTraining) {
+				return res, nil
+			}
+			return res, err
 		}
 	}
-	return res
+	return res, nil
+}
+
+// fireAfterEpoch invokes the AfterEpoch hook (when set) with a lazy state
+// capture over the primary model, the worker replicas, and the current
+// window order.
+func (m *Model) fireAfterEpoch(opts TrainOpts, epoch int, res TrainResult, replicas []*Model, order []int) error {
+	if opts.AfterEpoch == nil {
+		return nil
+	}
+	return opts.AfterEpoch(EpochEvent{
+		Epoch:  epoch,
+		Epochs: m.Cfg.Epochs,
+		MSE:    res.FinalMSE,
+		DLoss:  res.FinalDLoss,
+		State: func() *TrainState {
+			return m.captureTrainState(epoch, res.FinalMSE, res.FinalDLoss, replicas, order)
+		},
+	})
 }
 
 // windowGrads runs one window's forward/backward passes on a worker
@@ -442,11 +531,11 @@ func (m *Model) windowGrads(w window, discAcc [][]float64) (mse, dloss float64) 
 // and averaging W of them before one Adam step is gradient accumulation
 // over a mini-batch of W. Gradient clipping consequently applies once to
 // the averaged mini-batch gradient rather than per window.
-func (m *Model) trainParallel(seqs []*Sequence, logf func(format string, args ...any)) TrainResult {
+func (m *Model) trainParallel(seqs []*Sequence, opts TrainOpts) (TrainResult, error) {
 	cfg := m.Cfg
 	wins := m.windows(seqs)
 	if len(wins) == 0 {
-		return TrainResult{}
+		return TrainResult{}, nil
 	}
 	W := cfg.Workers
 	if W > len(wins) {
@@ -479,15 +568,38 @@ func (m *Model) trainParallel(seqs []*Sequence, logf func(format string, args ..
 		}
 	}
 
+	// Resuming mid-run: the primary state (weights, moments, RNG) was
+	// restored by TrainWithOptions before the replicas were cloned above,
+	// so the replicas start from the checkpointed weights; their RNG
+	// streams are repositioned here.
+	start := 0
+	if opts.Resume != nil {
+		if got := len(opts.Resume.WorkerRNGs); got != W {
+			return TrainResult{}, fmt.Errorf("core: resume: checkpoint has %d worker RNG streams, this run has %d workers", got, W)
+		}
+		for w, st := range opts.Resume.WorkerRNGs {
+			replicas[w].rngSrc.restore(st)
+		}
+		start = opts.Resume.Epoch
+	}
+
 	var res TrainResult
 	res.Windows = len(wins)
+	if opts.Resume != nil {
+		res.FinalMSE, res.FinalDLoss = opts.Resume.FinalMSE, opts.Resume.FinalDLoss
+	}
 	order := make([]int, len(wins))
 	for i := range order {
 		order[i] = i
 	}
+	if opts.Resume != nil {
+		if err := restoreWindowOrder(order, opts.Resume); err != nil {
+			return res, err
+		}
+	}
 	mses := make([]float64, W)
 	dlosses := make([]float64, W)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := start; epoch < cfg.Epochs; epoch++ {
 		m.rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		var mseSum, dSum float64
 		for g0 := 0; g0 < len(order); g0 += W {
@@ -548,11 +660,17 @@ func (m *Model) trainParallel(seqs []*Sequence, logf func(format string, args ..
 		}
 		res.FinalMSE = mseSum / float64(len(wins))
 		res.FinalDLoss = dSum / float64(len(wins))
-		if logf != nil {
-			logf("epoch %d/%d: mse=%.5f dloss=%.4f", epoch+1, cfg.Epochs, res.FinalMSE, res.FinalDLoss)
+		if opts.Logf != nil {
+			opts.Logf("epoch %d/%d: mse=%.5f dloss=%.4f", epoch+1, cfg.Epochs, res.FinalMSE, res.FinalDLoss)
+		}
+		if err := m.fireAfterEpoch(opts, epoch+1, res, replicas, order); err != nil {
+			if errors.Is(err, ErrStopTraining) {
+				return res, nil
+			}
+			return res, err
 		}
 	}
-	return res
+	return res, nil
 }
 
 func realWindow(series [][]float64, lo, L int) [][]float64 {

@@ -85,6 +85,15 @@ func (a *Adam) Clone() *Adam {
 	return &cp
 }
 
+// StepCount returns the number of Step calls applied so far. Together with
+// the per-parameter moments it is the optimizer's entire state, so
+// checkpointing persists it and SetStepCount restores it.
+func (a *Adam) StepCount() int { return a.t }
+
+// SetStepCount restores the step counter (bias-correction position) saved
+// by a checkpoint.
+func (a *Adam) SetStepCount(t int) { a.t = t }
+
 // Step applies one Adam update to all params and zeroes their gradients.
 func (a *Adam) Step(params []*Param) {
 	a.t++

@@ -7,11 +7,13 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"reflect"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -482,9 +484,45 @@ func TestDrainingReturns503(t *testing.T) {
 		t.Fatalf("prime: %d %s", code, raw)
 	}
 	s.Close()
-	code, _, _ := postGenerate(t, ts.URL, GenerateRequest{Seed: 1, Route: routePoints()})
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("after drain: %d, want 503", code)
+	body, err := json.Marshal(GenerateRequest{Seed: 1, Route: routePoints()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+EndpointGenerate, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("after drain: %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(DrainRetryAfter) {
+		t.Errorf("Retry-After = %q, want %q", got, strconv.Itoa(DrainRetryAfter))
+	}
+}
+
+// TestHealthzDraining checks a draining server fails its health probe with
+// status "draining" so orchestrators route away during shutdown.
+func TestHealthzDraining(t *testing.T) {
+	s, ts := newServer(t, Options{})
+	s.StartDrain()
+	resp, err := http.Get(ts.URL + EndpointHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("healthz while draining: missing Retry-After header")
+	}
+	var hr HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "draining" {
+		t.Errorf("status = %q, want %q", hr.Status, "draining")
 	}
 }
 
@@ -552,5 +590,98 @@ func TestPrepCacheReuse(t *testing.T) {
 	}
 	if s1.Len() != len(fix.route) {
 		t.Fatalf("prepared length %d, want %d", s1.Len(), len(fix.route))
+	}
+}
+
+// trainCheckpointBytes trains the fixture model for `epochs` epochs and
+// returns the serialized training checkpoint captured at the final epoch —
+// the same byte format gendt-train's -checkpoint-dir writes.
+func trainCheckpointBytes(t *testing.T, epochs int) ([]byte, uint64) {
+	t.Helper()
+	d := dataset.NewDatasetA(fixSpec)
+	chans := core.RSRPRSRQChannels()
+	train := core.PrepareAll(d.TrainRuns(), chans, 6)
+	cfg := fixCfg()
+	cfg.Epochs = epochs
+	m := core.NewModel(cfg)
+	var data []byte
+	_, err := m.TrainWithOptions(train, core.TrainOpts{
+		AfterEpoch: func(ev core.EpochEvent) error {
+			if ev.Epoch != ev.Epochs {
+				return nil
+			}
+			var encErr error
+			data, encErr = core.EncodeTrainState(ev.State())
+			return encErr
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data == nil {
+		t.Fatal("no checkpoint captured")
+	}
+	return data, m.Fingerprint()
+}
+
+// TestCheckpointHotReloadSIGHUP proves a training-checkpoint file is a
+// first-class servable model: the registry loads it, and — mirroring
+// gendt-serve's SIGHUP handler — a SIGHUP-triggered Reload picks up a new
+// checkpoint written over the same path.
+func TestCheckpointHotReloadSIGHUP(t *testing.T) {
+	ck1, fp1 := trainCheckpointBytes(t, 1)
+	ck2, fp2 := trainCheckpointBytes(t, 2)
+	if fp1 == fp2 {
+		t.Fatal("fixture checkpoints have identical weights; test needs distinct ones")
+	}
+
+	path := filepath.Join(t.TempDir(), "ckpt-model.json")
+	if err := os.WriteFile(path, ck1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry([]ModelSource{{Name: "ck", Path: path}}, 0)
+	if err != nil {
+		t.Fatalf("registry rejected checkpoint-format model: %v", err)
+	}
+	m, ok := reg.Get("ck")
+	if !ok {
+		t.Fatal("checkpoint model not registered")
+	}
+	if got := m.Fingerprint(); got != fp1 {
+		t.Fatalf("loaded fingerprint %#x, want %#x", got, fp1)
+	}
+	s, ts := newServer(t, Options{Registry: reg})
+	if code, _, raw := postGenerate(t, ts.URL, GenerateRequest{Seed: 3, Route: routePoints()}); code != http.StatusOK {
+		t.Fatalf("generate against checkpoint model: %d %s", code, raw)
+	}
+
+	// Swap the file on disk, then deliver a real SIGHUP to this process;
+	// the handler mirrors cmd/gendt-serve's reload goroutine.
+	if err := os.WriteFile(path, ck2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	reloaded := make(chan int, 1)
+	go func() {
+		<-hup
+		_, failures := s.Reload()
+		reloaded <- failures
+	}()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case failures := <-reloaded:
+		if failures != 0 {
+			t.Fatalf("reload failures: %d", failures)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGHUP never delivered")
+	}
+	m2, _ := reg.Get("ck")
+	if got := m2.Fingerprint(); got != fp2 {
+		t.Fatalf("post-SIGHUP fingerprint %#x, want new checkpoint's %#x", got, fp2)
 	}
 }

@@ -15,8 +15,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gendt/internal/core"
@@ -78,6 +80,8 @@ type Server struct {
 	met *Metrics
 	mux *http.ServeMux
 
+	draining atomic.Bool
+
 	mu       sync.Mutex
 	batchers map[string]*Batcher
 	seedSeq  func() int64 // nondeterministic seeds for requests that omit one
@@ -124,8 +128,24 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // handler read it).
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// DrainRetryAfter is the Retry-After hint (seconds) on draining 503s: long
+// enough for a restart or rollout to complete, short enough that balancers
+// re-probe promptly.
+const DrainRetryAfter = 5
+
+// StartDrain flips the server into draining mode: new /v1/generate
+// requests get an immediate 503 with a Retry-After hint (so load
+// balancers fail over instead of queueing behind a dying process) and
+// /healthz starts failing with status "draining". Requests already
+// admitted keep running; call Close to wait them out.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Close drains every batcher: admitted requests finish, new ones get 503.
 func (s *Server) Close() {
+	s.StartDrain()
 	s.mu.Lock()
 	bs := make([]*Batcher, 0, len(s.batchers))
 	for _, b := range s.batchers {
@@ -238,6 +258,10 @@ type GenerateResponse struct {
 }
 
 func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeDraining(w, ErrDraining.Error())
+		return
+	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.opt.MaxBody)
 	var req GenerateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -294,7 +318,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeDraining(w, err.Error())
 		case errors.Is(err, context.DeadlineExceeded):
 			writeError(w, http.StatusGatewayTimeout, "generation timed out")
 		default:
@@ -371,12 +395,21 @@ type HealthResponse struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:  "ok",
 		Models:  len(s.opt.Registry.Names()),
 		World:   s.opt.World.Name(),
 		UptimeS: time.Since(s.met.start).Seconds(),
-	})
+	}
+	code := http.StatusOK
+	if s.Draining() {
+		// Fail the probe during shutdown so orchestrators stop routing
+		// here before the listener actually closes.
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", strconv.Itoa(DrainRetryAfter))
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleVars(w http.ResponseWriter, _ *http.Request) {
@@ -408,4 +441,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeDraining is the 503 every draining rejection goes through: the
+// Retry-After header tells clients and balancers when to try again.
+func writeDraining(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(DrainRetryAfter))
+	writeError(w, http.StatusServiceUnavailable, msg)
 }
