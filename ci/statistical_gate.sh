@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# statistical_gate.sh — end-to-end proof that the statistical model-quality
+# gate works AND has teeth. Trains a small fixed-seed model, validates it
+# against the committed golden tolerances (must pass every check), then
+# corrupts the same model's weights with Gaussian noise via the -corrupt
+# hook and asserts gendt-validate rejects it with at least one named
+# failing distributional check.
+#
+# The golden file is regenerated with:
+#   go run ./cmd/gendt-validate -model <model> $GATE_ARGS \
+#       -golden validate/golden/gate-a.json -update-golden
+# after retraining with $TRAIN_ARGS below; the derivation is deterministic,
+# so a regeneration with an unchanged model is a no-op diff.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+trap 'rm -rf "$work"' EXIT
+
+# Must match the parameters the committed golden file was derived under.
+# Workers is pinned so training is bit-identical regardless of runner CPUs.
+TRAIN_ARGS=(-dataset A -scale 0.02 -seed 7 -channels rsrp,rsrq
+    -epochs 2 -hidden 12 -batch 12 -step 6 -maxcells 6 -workers 2)
+GATE_ARGS=(-dataset A -scale 0.02 -seed 7)
+GOLDEN=validate/golden/gate-a.json
+
+go build -o "$work/gendt-train" ./cmd/gendt-train
+go build -o "$work/gendt-validate" ./cmd/gendt-validate
+
+echo "=== statistical gate: train fixed-seed model ==="
+"$work/gendt-train" "${TRAIN_ARGS[@]}" -out "$work/model.json" -fingerprint
+
+echo "=== statistical gate: healthy model must pass ==="
+"$work/gendt-validate" -model "$work/model.json" "${GATE_ARGS[@]}" \
+    -golden "$GOLDEN" | tee "$work/pass.log"
+
+echo "=== statistical gate: corrupted model must fail ==="
+if "$work/gendt-validate" -model "$work/model.json" "${GATE_ARGS[@]}" \
+    -golden "$GOLDEN" -corrupt 0.5 >"$work/fail.log" 2>&1; then
+    echo "FAIL: gate passed a noise-corrupted model"
+    cat "$work/fail.log"
+    exit 1
+fi
+cat "$work/fail.log"
+if ! grep -q '^FAIL dist/' "$work/fail.log"; then
+    echo "FAIL: corrupted run exited non-zero but named no failing dist/ check"
+    exit 1
+fi
+echo "corrupted model rejected with named checks:"
+grep '^FAIL ' "$work/fail.log" | sort -u
+
+echo "=== statistical gate: golden regeneration is a no-op ==="
+cp "$GOLDEN" "$work/golden.orig"
+"$work/gendt-validate" -model "$work/model.json" "${GATE_ARGS[@]}" \
+    -golden "$GOLDEN" -update-golden >/dev/null
+if ! cmp -s "$GOLDEN" "$work/golden.orig"; then
+    echo "FAIL: regenerated golden differs from the committed file"
+    diff "$work/golden.orig" "$GOLDEN" || true
+    cp "$work/golden.orig" "$GOLDEN"
+    exit 1
+fi
+
+echo "statistical gate: pass on healthy, fail on corrupted, golden stable"

@@ -1,0 +1,65 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"gendt/internal/core"
+)
+
+// TestBaselinesSeedDeterminism: two independently constructed instances of
+// the same baseline with the same seed, fit on the same data, must
+// generate bit-identical series of the right shape with no NaN/Inf. This
+// pins the reproducibility contract the evaluation tables rely on.
+func TestBaselinesSeedDeterminism(t *testing.T) {
+	train, test := prepared(t)
+	cases := []struct {
+		name string
+		mk   func() Generator
+	}{
+		{"FDaS", func() Generator { return NewFDaS(2, 21) }},
+		{"MLP", func() Generator { return NewMLP(2, 8, 2, 2e-3, 22) }},
+		{"LSTM-GNN", func() Generator { return NewLSTMGNN(2, 8, 2, 3e-3, 23) }},
+		{"Orig. DG", func() Generator { return NewDG(2, 8, 2, false, 24) }},
+		{"Real Cont. DG", func() Generator { return NewDG(2, 8, 2, true, 25) }},
+		{"GenDT", func() Generator {
+			return NewGenDT(core.Config{
+				Channels: core.RSRPRSRQChannels(),
+				Hidden:   8, BatchLen: 12, StepLen: 6, MaxCells: 6,
+				Epochs: 1, Seed: 26, Workers: 1,
+			})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.mk(), tc.mk()
+			a.Fit(train)
+			b.Fit(train)
+			for si, seq := range test[:2] {
+				outA := a.Generate(seq)
+				outB := b.Generate(seq)
+				if len(outA) != seq.Len() {
+					t.Fatalf("seq %d: generated %d steps, want %d", si, len(outA), seq.Len())
+				}
+				if len(outA) != len(outB) {
+					t.Fatalf("seq %d: lengths differ: %d vs %d", si, len(outA), len(outB))
+				}
+				for ti := range outA {
+					if len(outA[ti]) != 2 {
+						t.Fatalf("seq %d step %d: %d channels, want 2", si, ti, len(outA[ti]))
+					}
+					for c := range outA[ti] {
+						va, vb := outA[ti][c], outB[ti][c]
+						if math.IsNaN(va) || math.IsInf(va, 0) {
+							t.Fatalf("seq %d step %d ch %d: non-finite %v", si, ti, c, va)
+						}
+						if math.Float64bits(va) != math.Float64bits(vb) {
+							t.Fatalf("seq %d step %d ch %d: same seed diverged: %v vs %v",
+								si, ti, c, va, vb)
+						}
+					}
+				}
+			}
+		})
+	}
+}

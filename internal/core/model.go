@@ -216,6 +216,20 @@ func (m *Model) Clone(seed int64) *Model {
 	return c
 }
 
+// PerturbWeights adds deterministic Gaussian noise of the given standard
+// deviation to every weight (generator and discriminator). It exists as a
+// negative-control hook for the statistical validation gate: a gate that
+// cannot fail a noise-corrupted model has no teeth, so CI corrupts a
+// freshly trained model with this and asserts gendt-validate rejects it.
+func (m *Model) PerturbWeights(sigma float64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range m.allParams() {
+		for i := range p.W {
+			p.W[i] += sigma * rng.NormFloat64()
+		}
+	}
+}
+
 // workerSeed derives a deterministic, well-separated RNG seed for worker w
 // from the model seed (splitmix64 finalizer over the worker index).
 func workerSeed(seed int64, w int) int64 {

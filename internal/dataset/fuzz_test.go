@@ -1,0 +1,41 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzNewByName hammers the dataset-by-name entry point with arbitrary
+// names: it must never panic, must accept exactly the documented names,
+// and must return a descriptive error for everything else. Scale is kept
+// tiny so the accepted paths stay cheap.
+func FuzzNewByName(f *testing.F) {
+	for _, s := range []string{"A", "a", "B", "b", "", "C", "AB", "A ", " b", "aa", "\x00", "ä"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		d, err := NewByName(name, Spec{Seed: 1, Scale: 0.002})
+		valid := name == "A" || name == "a" || name == "B" || name == "b"
+		if valid {
+			if err != nil {
+				t.Fatalf("NewByName(%q): unexpected error %v", name, err)
+			}
+			if d == nil || d.World == nil || len(d.Runs) == 0 {
+				t.Fatalf("NewByName(%q): incomplete dataset %+v", name, d)
+			}
+			if got := strings.ToUpper(name); d.Name != got {
+				t.Fatalf("NewByName(%q): Name = %q, want %q", name, d.Name, got)
+			}
+		} else {
+			if err == nil {
+				t.Fatalf("NewByName(%q): expected error", name)
+			}
+			if d != nil {
+				t.Fatalf("NewByName(%q): non-nil dataset alongside error", name)
+			}
+			if !strings.Contains(err.Error(), "unknown dataset") {
+				t.Fatalf("NewByName(%q): undescriptive error %q", name, err)
+			}
+		}
+	})
+}

@@ -12,6 +12,9 @@ func FuzzDTW(f *testing.F) {
 	f.Add([]byte{1, 2, 3}, []byte{3, 2, 1}, 2)
 	f.Add([]byte{0}, []byte{0, 0, 0, 0, 0, 0, 0, 0}, 1)
 	f.Add([]byte{255, 0, 255}, []byte{128}, 0)
+	f.Add([]byte{7, 7, 7, 7, 7, 7}, []byte{7, 7, 7}, -3)
+	f.Add([]byte{0, 255, 0, 255, 0, 255}, []byte{255, 0, 255, 0}, 64)
+	f.Add([]byte{1}, []byte{1}, 1)
 	f.Fuzz(func(t *testing.T, a, b []byte, window int) {
 		if len(a) == 0 || len(b) == 0 || len(a) > 64 || len(b) > 64 {
 			return
@@ -49,6 +52,8 @@ func FuzzDTW(f *testing.F) {
 func FuzzHWD(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4}, []byte{4, 3, 2, 1}, 10)
 	f.Add([]byte{0, 0}, []byte{255}, 1)
+	f.Add([]byte{128, 128, 128}, []byte{128, 128}, 500)
+	f.Add([]byte{0, 255}, []byte{0, 255}, -1)
 	f.Fuzz(func(t *testing.T, a, b []byte, bins int) {
 		if len(a) == 0 || len(b) == 0 || len(a) > 128 || len(b) > 128 {
 			return
@@ -74,6 +79,39 @@ func FuzzHWD(f *testing.F) {
 		}
 		if math.Abs(d1-d2) > 1e-9*(1+d1) {
 			t.Fatalf("HWD not symmetric: %v vs %v", d1, d2)
+		}
+	})
+}
+
+// FuzzKS checks the two-sample KS distance never panics and always lands
+// in [0, 1], symmetrically.
+func FuzzKS(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{4, 3, 2, 1})
+	f.Add([]byte{0}, []byte{255})
+	f.Add([]byte{9, 9, 9, 9}, []byte{9, 9})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7}, []byte{7})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		if len(a) == 0 || len(b) == 0 || len(a) > 256 || len(b) > 256 {
+			return
+		}
+		x := make([]float64, len(a))
+		y := make([]float64, len(b))
+		for i, v := range a {
+			x[i] = float64(v)
+		}
+		for i, v := range b {
+			y[i] = float64(v)
+		}
+		d1, err := KS(x, y)
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		d2, _ := KS(y, x)
+		if d1 < 0 || d1 > 1 || math.IsNaN(d1) {
+			t.Fatalf("KS = %v, want in [0,1]", d1)
+		}
+		if math.Abs(d1-d2) > 1e-12 {
+			t.Fatalf("KS not symmetric: %v vs %v", d1, d2)
 		}
 	})
 }

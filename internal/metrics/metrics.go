@@ -185,6 +185,78 @@ func lcmCap(a, b, cap int) int {
 	return n
 }
 
+// KS returns the two-sample Kolmogorov–Smirnov statistic: the supremum of
+// the absolute difference between the empirical CDFs of x and y. It lies in
+// [0, 1], is symmetric, and is zero iff the two samples induce identical
+// empirical distributions — the scale-free distributional gate the
+// validation subsystem pairs with HWD (which is in data units).
+func KS(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, errors.New("metrics: KS of empty sample")
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	// Sweep the merged order of distinct sample values; the CDF gap can only
+	// attain its supremum just after a sample point. Both indices must step
+	// past ALL copies of the current value before the gap is measured —
+	// comparing mid-tie would report a spurious gap for tied samples (and
+	// break symmetry).
+	var d float64
+	i, j := 0, 0
+	for i < len(xs) && j < len(ys) {
+		// NaNs sort to the front and compare unequal to everything, which
+		// would stall the tie-skipping below; consume them as if they were
+		// the smallest values.
+		for i < len(xs) && math.IsNaN(xs[i]) {
+			i++
+		}
+		for j < len(ys) && math.IsNaN(ys[j]) {
+			j++
+		}
+		if i >= len(xs) || j >= len(ys) {
+			break
+		}
+		v := math.Min(xs[i], ys[j])
+		for i < len(xs) && xs[i] == v {
+			i++
+		}
+		for j < len(ys) && ys[j] == v {
+			j++
+		}
+		gap := math.Abs(float64(i)/float64(len(xs)) - float64(j)/float64(len(ys)))
+		if gap > d {
+			d = gap
+		}
+	}
+	return d, nil
+}
+
+// Autocorr returns the lag-k sample autocorrelation of xs (the normalized
+// autocovariance at lag k). A constant or too-short series returns 0. The
+// paper's KPI series are strongly autocorrelated at short lags; preserving
+// that structure is what separates a temporal generator from i.i.d.
+// distribution sampling, so the validation gate compares generated and
+// measured autocorrelation per channel.
+func Autocorr(xs []float64, lag int) float64 {
+	if lag <= 0 || len(xs) <= lag {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := lag; i < len(xs); i++ {
+		num += (xs[i] - m) * (xs[i-lag] - m)
+	}
+	for _, x := range xs {
+		den += (x - m) * (x - m)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
 // CDF returns (sorted values, cumulative probabilities) for plotting
 // empirical CDFs (paper Figures 13, 16).
 func CDF(xs []float64) (vals, probs []float64) {

@@ -1,0 +1,203 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// propSeries builds deterministic pseudo-random series pairs of assorted
+// lengths for the metric-property tests.
+func propSeries(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+var propPairs = []struct {
+	name   string
+	nx, ny int
+}{
+	{"short", 8, 8},
+	{"medium", 64, 64},
+	{"long", 300, 300},
+	{"uneven", 50, 90},
+	{"tiny-vs-long", 2, 200},
+}
+
+// TestMetricNonNegativity: every distance is >= 0 and finite on arbitrary
+// input.
+func TestMetricNonNegativity(t *testing.T) {
+	for i, p := range propPairs {
+		x := propSeries(int64(100+i), p.nx)
+		y := propSeries(int64(200+i), p.ny)
+		check := func(name string, d float64, err error) {
+			t.Helper()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", p.name, name, err)
+			}
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				t.Errorf("%s/%s = %v, want finite non-negative", p.name, name, d)
+			}
+		}
+		if p.nx == p.ny {
+			d, err := MAE(x, y)
+			check("MAE", d, err)
+		}
+		d, err := DTW(x, y, 0)
+		check("DTW", d, err)
+		d, err = HWD(x, y, 50)
+		check("HWD", d, err)
+		d, err = KS(x, y)
+		check("KS", d, err)
+		if d > 1 {
+			t.Errorf("%s/KS = %v, want <= 1", p.name, d)
+		}
+		d, err = WassersteinExact(x, y)
+		check("Wasserstein", d, err)
+	}
+}
+
+// TestMetricSymmetry: d(x,y) == d(y,x) for every symmetric metric.
+func TestMetricSymmetry(t *testing.T) {
+	for i, p := range propPairs {
+		x := propSeries(int64(300+i), p.nx)
+		y := propSeries(int64(400+i), p.ny)
+		check := func(name string, a, b float64) {
+			t.Helper()
+			if math.Abs(a-b) > 1e-12*(1+math.Abs(a)) {
+				t.Errorf("%s/%s not symmetric: %v vs %v", p.name, name, a, b)
+			}
+		}
+		if p.nx == p.ny {
+			a, _ := MAE(x, y)
+			b, _ := MAE(y, x)
+			check("MAE", a, b)
+		}
+		a, _ := DTW(x, y, 0)
+		b, _ := DTW(y, x, 0)
+		check("DTW", a, b)
+		a, _ = HWD(x, y, 50)
+		b, _ = HWD(y, x, 50)
+		check("HWD", a, b)
+		a, _ = KS(x, y)
+		b, _ = KS(y, x)
+		check("KS", a, b)
+	}
+}
+
+// TestMetricIdentity: d(x,x) == 0 (identity of indiscernibles, one
+// direction).
+func TestMetricIdentity(t *testing.T) {
+	for i, n := range []int{1, 5, 128} {
+		x := propSeries(int64(500+i), n)
+		if d, _ := MAE(x, x); d != 0 {
+			t.Errorf("MAE(x,x) = %v", d)
+		}
+		if d, _ := DTW(x, x, 0); d != 0 {
+			t.Errorf("DTW(x,x) = %v", d)
+		}
+		if d, _ := HWD(x, x, 50); d != 0 {
+			t.Errorf("HWD(x,x) = %v", d)
+		}
+		if d, _ := KS(x, x); d != 0 {
+			t.Errorf("KS(x,x) = %v", d)
+		}
+	}
+}
+
+// TestDTWBoundedByMAE: for equal-length series the normalized DTW with an
+// unconstrained band never exceeds the MAE — the diagonal path is always
+// admissible, its total cost is n*MAE, and the optimal path is at least as
+// cheap over at least as many steps.
+func TestDTWBoundedByMAE(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		n := 5 + i*7
+		x := propSeries(int64(600+i), n)
+		y := propSeries(int64(700+i), n)
+		dtw, err := DTW(x, y, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mae, err := MAE(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dtw > mae+1e-12 {
+			t.Errorf("n=%d: DTW %v > MAE %v", n, dtw, mae)
+		}
+	}
+}
+
+// TestKSSeparatesDistributions: KS must be ~0 for two samples of the same
+// distribution and large for disjoint supports.
+func TestKSSeparatesDistributions(t *testing.T) {
+	x := propSeries(800, 2000)
+	y := propSeries(801, 2000)
+	same, err := KS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same > 0.1 {
+		t.Errorf("KS of same-distribution samples = %v, want small", same)
+	}
+	far := make([]float64, len(y))
+	for i, v := range y {
+		far[i] = v + 10
+	}
+	apart, err := KS(x, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apart != 1 {
+		t.Errorf("KS of disjoint supports = %v, want 1", apart)
+	}
+}
+
+// TestAutocorrProperties: lag-k autocorrelation is bounded by ~1, is 1-ish
+// for a constant-increment structure, near zero for white noise, and 0 on
+// degenerate input.
+func TestAutocorrProperties(t *testing.T) {
+	noise := propSeries(900, 4000)
+	if ac := Autocorr(noise, 1); math.Abs(ac) > 0.1 {
+		t.Errorf("white-noise autocorr = %v, want ~0", ac)
+	}
+	// A slow sine is strongly autocorrelated at small lags.
+	wave := make([]float64, 500)
+	for i := range wave {
+		wave[i] = math.Sin(float64(i) / 30)
+	}
+	if ac := Autocorr(wave, 1); ac < 0.9 {
+		t.Errorf("sine autocorr = %v, want near 1", ac)
+	}
+	for _, lag := range []int{1, 5, 10} {
+		if ac := Autocorr(noise, lag); math.Abs(ac) > 1+1e-9 {
+			t.Errorf("lag %d: |autocorr| = %v > 1", lag, ac)
+		}
+	}
+	constant := []float64{3, 3, 3, 3}
+	if ac := Autocorr(constant, 1); ac != 0 {
+		t.Errorf("constant-series autocorr = %v, want 0", ac)
+	}
+	if ac := Autocorr(noise, 0); ac != 0 {
+		t.Errorf("lag-0 autocorr = %v, want 0 (invalid lag)", ac)
+	}
+	if ac := Autocorr([]float64{1, 2}, 5); ac != 0 {
+		t.Errorf("lag > len autocorr = %v, want 0", ac)
+	}
+}
+
+// TestEmptyInputErrors: the two-sample metrics reject empty samples
+// instead of returning a silent zero.
+func TestEmptyInputErrors(t *testing.T) {
+	x := []float64{1, 2}
+	if _, err := KS(nil, x); err == nil {
+		t.Error("KS(nil, x): want error")
+	}
+	if _, err := KS(x, nil); err == nil {
+		t.Error("KS(x, nil): want error")
+	}
+}

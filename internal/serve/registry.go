@@ -68,6 +68,20 @@ func NewRegistry(sources []ModelSource, workers int) (*Registry, error) {
 	return r, nil
 }
 
+// NewStaticRegistry wraps one already-loaded, in-memory model. It backs
+// callers that must serve a model that has no faithful on-disk source —
+// the validation gate's noise-corrupted negative control, for example —
+// through the exact /v1/generate pipeline. Reload is a no-op (there are no
+// sources to re-read); the model is treated as immutable like any other
+// registry entry.
+func NewStaticRegistry(name string, m *core.Model) *Registry {
+	return &Registry{
+		models: map[string]modelEntry{
+			name: {model: m, source: ModelSource{Name: name, Path: "(in-memory)"}, loadedAt: time.Now()},
+		},
+	}
+}
+
 // load reads one source and applies the worker override. The model is
 // mutated only here, before it becomes visible to any request.
 func (r *Registry) load(s ModelSource) (modelEntry, error) {

@@ -36,7 +36,15 @@ func NewWorld(name string, spec dataset.Spec) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &World{ds: ds, name: ds.Name, cache: make(map[uint64]*core.Sequence), limit: DefaultPrepCache}, nil
+	return NewWorldFrom(ds), nil
+}
+
+// NewWorldFrom wraps an already-built dataset. Callers that need both the
+// raw dataset (held-out runs, simulator ground truth) and a serving world —
+// the statistical validation gate is one — construct the dataset once and
+// share it instead of paying for world synthesis twice.
+func NewWorldFrom(ds *dataset.Dataset) *World {
+	return &World{ds: ds, name: ds.Name, cache: make(map[uint64]*core.Sequence), limit: DefaultPrepCache}
 }
 
 // Name reports which dataset world is resident ("A" or "B").

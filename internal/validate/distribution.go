@@ -1,0 +1,125 @@
+package validate
+
+import (
+	"fmt"
+	"math"
+
+	"gendt/internal/core"
+	"gendt/internal/metrics"
+)
+
+// hwdBins is the histogram resolution of the HWD gate, matching the
+// paper's 50-bin evaluation scaled down for the short held-out routes the
+// gate generates.
+const hwdBins = 40
+
+// distributionChecks generates SamplesPerRoute independent samples per
+// held-out route, pools generated and ground-truth values per channel, and
+// gates the five distributional statistics against the golden tolerances.
+// All statistics are computed in normalized [0,1] units so one tolerance
+// scale covers channels with very different physical ranges.
+func distributionChecks(m *core.Model, seqs []*core.Sequence, opts Options, rep *Report) {
+	nch := len(m.Cfg.Channels)
+	genPool := make([][]float64, nch) // generated values pooled over routes×samples
+	gtPool := make([][]float64, nch)  // ground truth pooled over routes (once each)
+	acfErr := make([]float64, nch)    // per-channel |Δautocorr| sums
+	acfN := make([]float64, nch)
+
+	for ri, seq := range seqs {
+		gtCols := columns(seq.KPIs, nch)
+		for c := 0; c < nch; c++ {
+			gtPool[c] = append(gtPool[c], gtCols[c]...)
+		}
+		for s := 0; s < opts.SamplesPerRoute; s++ {
+			// The sample is a pure function of (model, route, seed): the same
+			// derived-seed scheme the serving layer fans out with.
+			seed := core.DeriveSeed(opts.Seed, ri*opts.SamplesPerRoute+s)
+			gen := m.Clone(seed).Generate(seq)
+			genCols := columns(gen, nch)
+			for c := 0; c < nch; c++ {
+				genPool[c] = append(genPool[c], genCols[c]...)
+				// Autocorrelation compares per route (never across route
+				// seams) so it measures temporal structure, not pooling
+				// artifacts.
+				for _, lag := range AutocorrLags {
+					if len(genCols[c]) <= lag {
+						continue
+					}
+					d := math.Abs(metrics.Autocorr(genCols[c], lag) - metrics.Autocorr(gtCols[c], lag))
+					acfErr[c] += d
+					acfN[c]++
+				}
+			}
+		}
+	}
+
+	for c := 0; c < nch; c++ {
+		name := m.Cfg.Channels[c].Name
+		obs := ChannelStats{Channel: name}
+		ks, err := metrics.KS(genPool[c], gtPool[c])
+		if err != nil {
+			rep.add(CheckResult{Name: "dist/" + name + "/ks", Passed: false, Detail: err.Error()})
+			continue
+		}
+		obs.KS = ks
+		hwd, err := metrics.HWD(genPool[c], gtPool[c], hwdBins)
+		if err != nil {
+			rep.add(CheckResult{Name: "dist/" + name + "/hwd", Passed: false, Detail: err.Error()})
+			continue
+		}
+		obs.HWD = hwd
+		obs.MeanAbs = math.Abs(metrics.Mean(genPool[c]) - metrics.Mean(gtPool[c]))
+		obs.StdAbs = math.Abs(metrics.Std(genPool[c]) - metrics.Std(gtPool[c]))
+		if acfN[c] > 0 {
+			obs.Autocorr = acfErr[c] / acfN[c]
+		}
+		rep.Observed = append(rep.Observed, obs)
+
+		if opts.Golden == nil {
+			for _, metric := range []string{"ks", "hwd", "mean", "std", "autocorr"} {
+				rep.skip("dist/"+name+"/"+metric, "no golden tolerances (observe-only)")
+			}
+			continue
+		}
+		tol, ok := opts.Golden.channel(name)
+		if !ok {
+			rep.add(CheckResult{
+				Name: "dist/" + name + "/golden", Passed: false,
+				Detail: fmt.Sprintf("golden file has no tolerances for channel %s", name),
+			})
+			continue
+		}
+		gate := func(metric string, observed, limit float64) {
+			rep.add(CheckResult{
+				Name: "dist/" + name + "/" + metric, Passed: observed <= limit,
+				Observed: observed, Limit: limit,
+			})
+		}
+		gate("ks", obs.KS, tol.KS)
+		gate("hwd", obs.HWD, tol.HWD)
+		gate("mean", obs.MeanAbs, tol.MeanAbs)
+		gate("std", obs.StdAbs, tol.StdAbs)
+		gate("autocorr", obs.Autocorr, tol.Autocorr)
+	}
+
+	if opts.Golden != nil && opts.Golden.Dataset != rep.Dataset {
+		rep.add(CheckResult{
+			Name: "dist/golden-config", Passed: false,
+			Detail: fmt.Sprintf("golden derived on dataset %q, validating dataset %q",
+				opts.Golden.Dataset, rep.Dataset),
+		})
+	}
+}
+
+// columns transposes a [T][nch] series into per-channel columns.
+func columns(series [][]float64, nch int) [][]float64 {
+	out := make([][]float64, nch)
+	for c := 0; c < nch; c++ {
+		col := make([]float64, len(series))
+		for t := range series {
+			col[t] = series[t][c]
+		}
+		out[c] = col
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ChannelStats holds the five distributional statistics the gate computes
+// per KPI channel, in normalized [0,1] KPI units. The same shape serves
+// both as observed values (Report.Observed) and as tolerance bounds
+// (Golden.Channels).
+type ChannelStats struct {
+	Channel string `json:"channel"`
+	// KS is the two-sample Kolmogorov–Smirnov distance between generated
+	// and ground-truth values pooled over the held-out routes.
+	KS float64 `json:"ks"`
+	// HWD is the histogram Wasserstein distance over the same pools.
+	HWD float64 `json:"hwd"`
+	// MeanAbs / StdAbs are |mean(gen)-mean(truth)| and |std(gen)-std(truth)|.
+	MeanAbs float64 `json:"mean_abs"`
+	StdAbs  float64 `json:"std_abs"`
+	// Autocorr is the mean absolute lag-k autocorrelation error over
+	// AutocorrLags, averaged across routes and samples.
+	Autocorr float64 `json:"autocorr"`
+}
+
+// AutocorrLags are the lags the autocorrelation gate averages over: the
+// short-range temporal structure that separates a sequence model from
+// i.i.d. distribution sampling (the paper's FDaS baseline nails every
+// marginal and fails exactly here).
+var AutocorrLags = []int{1, 2, 5, 10}
+
+// Golden is a committed tolerance file: the upper bounds the
+// distributional gates compare against. Files are regenerated with
+// `gendt-validate -update-golden`, which derives each bound from the
+// observed statistics of a known-good fixed-seed model.
+type Golden struct {
+	Version int    `json:"version"`
+	Dataset string `json:"dataset"`
+	// Routes/SamplesPerRoute/Seed record the options the tolerances were
+	// derived under; a validation run compares like with like by using the
+	// same values.
+	Routes          int            `json:"routes"`
+	SamplesPerRoute int            `json:"samples_per_route"`
+	Seed            int64          `json:"seed"`
+	Channels        []ChannelStats `json:"channels"`
+}
+
+// GoldenVersion is the current tolerance-file format version.
+const GoldenVersion = 1
+
+// Tolerance derivation: bound = observed*GoldenMargin + floor. The margin
+// absorbs run-to-run noise (different machines retrain the fixed-seed
+// model bit-identically on amd64, but the floor and margin keep the gate
+// robust to tiny numeric drift), while staying far below the blowup a
+// corrupted or regressed model produces.
+const GoldenMargin = 1.6
+
+// goldenFloor is the per-metric additive floor (normalized units).
+var goldenFloor = ChannelStats{KS: 0.04, HWD: 0.01, MeanAbs: 0.02, StdAbs: 0.02, Autocorr: 0.05}
+
+// DeriveGolden turns a report's observed statistics into a tolerance file
+// for the options the report was produced under. The derivation is
+// deterministic: the same model, dataset, and options always yield the
+// same file bytes.
+func (r *Report) DeriveGolden(opts Options) *Golden {
+	opts = opts.withDefaults()
+	g := &Golden{
+		Version: GoldenVersion, Dataset: r.Dataset,
+		Routes: opts.Routes, SamplesPerRoute: opts.SamplesPerRoute, Seed: opts.Seed,
+	}
+	for _, obs := range r.Observed {
+		g.Channels = append(g.Channels, ChannelStats{
+			Channel:  obs.Channel,
+			KS:       obs.KS*GoldenMargin + goldenFloor.KS,
+			HWD:      obs.HWD*GoldenMargin + goldenFloor.HWD,
+			MeanAbs:  obs.MeanAbs*GoldenMargin + goldenFloor.MeanAbs,
+			StdAbs:   obs.StdAbs*GoldenMargin + goldenFloor.StdAbs,
+			Autocorr: obs.Autocorr*GoldenMargin + goldenFloor.Autocorr,
+		})
+	}
+	return g
+}
+
+// channel returns the tolerance entry for a channel name.
+func (g *Golden) channel(name string) (ChannelStats, bool) {
+	for _, c := range g.Channels {
+		if c.Channel == name {
+			return c, true
+		}
+	}
+	return ChannelStats{}, false
+}
+
+// LoadGolden reads a tolerance file.
+func LoadGolden(path string) (*Golden, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("validate: golden: %w", err)
+	}
+	var g Golden
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("validate: golden %s: %w", path, err)
+	}
+	if g.Version != GoldenVersion {
+		return nil, fmt.Errorf("validate: golden %s: unsupported version %d", path, g.Version)
+	}
+	if len(g.Channels) == 0 {
+		return nil, fmt.Errorf("validate: golden %s: no channel tolerances", path)
+	}
+	return &g, nil
+}
+
+// Save writes the tolerance file with stable formatting (field order is
+// the struct order, so identical content yields identical bytes).
+func (g *Golden) Save(path string) error {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return fmt.Errorf("validate: golden: %w", err)
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("validate: golden: %w", err)
+		}
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("validate: golden: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,270 @@
+package validate
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"gendt/internal/core"
+	"gendt/internal/dataset"
+)
+
+// fixture: one tiny trained model over a small Dataset A world, built once
+// per test binary (training even a tiny model dominates test time).
+var fix struct {
+	once sync.Once
+	ds   *dataset.Dataset
+	m    *core.Model
+}
+
+var fixSpec = dataset.Spec{Seed: 11, Scale: 0.015}
+
+func fixCfg() core.Config {
+	return core.Config{
+		Channels: core.RSRPRSRQChannels(),
+		Hidden:   10, NoiseDim: 2, ResNoise: 2, Lags: 2,
+		BatchLen: 12, StepLen: 6, MaxCells: 6,
+		Epochs: 1, Seed: 1, Workers: 1,
+	}
+}
+
+func setup(t *testing.T) (*dataset.Dataset, *core.Model) {
+	t.Helper()
+	fix.once.Do(func() {
+		fix.ds = dataset.NewDatasetA(fixSpec)
+		train := core.PrepareAll(fix.ds.TrainRuns(), core.RSRPRSRQChannels(), 6)
+		fix.m = core.NewModel(fixCfg())
+		fix.m.Train(train, nil)
+	})
+	return fix.ds, fix.m
+}
+
+// fixOpts keeps runs small: two short routes, one sample each.
+func fixOpts(ds *dataset.Dataset) Options {
+	return Options{Dataset: ds, Routes: 2, SamplesPerRoute: 1, MaxRouteLen: 60, Seed: 3, Workers: 2}
+}
+
+// TestObserveDeriveGate is the golden lifecycle: an observe-only run
+// derives tolerances, and a gated run against those tolerances passes with
+// every check accounted for.
+func TestObserveDeriveGate(t *testing.T) {
+	ds, m := setup(t)
+	opts := fixOpts(ds)
+
+	observe, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !observe.OK() {
+		t.Fatalf("observe-only run failed:\n%s", observe)
+	}
+	if len(observe.Observed) != len(m.Cfg.Channels) {
+		t.Fatalf("observed stats for %d channels, want %d", len(observe.Observed), len(m.Cfg.Channels))
+	}
+
+	opts.Golden = observe.DeriveGolden(opts)
+	rep, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("gated run failed:\n%s", rep)
+	}
+	// Every distributional gate must have actually run (not skipped) and
+	// every metamorphic invariant must be present.
+	want := []string{
+		"dist/RSRP/ks", "dist/RSRP/hwd", "dist/RSRP/mean", "dist/RSRP/std", "dist/RSRP/autocorr",
+		"dist/RSRQ/ks", "dist/RSRQ/hwd", "dist/RSRQ/mean", "dist/RSRQ/std", "dist/RSRQ/autocorr",
+		"meta/seed-determinism-serial", "meta/seed-determinism-workers", "meta/seed-determinism-http",
+		"meta/permutation-invariance", "meta/truncation-consistency", "meta/monotonic-rsrp-distance",
+	}
+	got := map[string]CheckResult{}
+	for _, c := range rep.Checks {
+		got[c.Name] = c
+	}
+	for _, name := range want {
+		c, ok := got[name]
+		if !ok {
+			t.Errorf("check %s missing from report", name)
+			continue
+		}
+		if c.Skipped {
+			t.Errorf("check %s skipped: %s", name, c.Detail)
+		}
+	}
+	// No SINR channel on this model: the load check must be skipped, not
+	// silently absent.
+	if c, ok := got["meta/monotonic-sinr-load"]; !ok || !c.Skipped {
+		t.Errorf("meta/monotonic-sinr-load: want skipped, got %+v", c)
+	}
+}
+
+// TestRunDeterministic: the whole suite is a pure function of
+// (model, dataset, options) — two runs render identical reports.
+func TestRunDeterministic(t *testing.T) {
+	ds, m := setup(t)
+	opts := fixOpts(ds)
+	a, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("reports differ:\n%s\nvs\n%s", ja, jb)
+	}
+}
+
+// TestCorruptedModelFails is the gate-has-teeth property: noise-corrupted
+// weights must trip at least one named distributional check against
+// tolerances derived from the healthy model.
+func TestCorruptedModelFails(t *testing.T) {
+	ds, m := setup(t)
+	opts := fixOpts(ds)
+	opts.SkipHTTP = true // determinism holds for deterministic garbage; skip the slow path
+
+	observe, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Golden = observe.DeriveGolden(opts)
+
+	bad := m.Clone(1)
+	bad.PerturbWeights(0.5, 99)
+	rep, err := Run(bad, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatalf("corrupted model passed the gate:\n%s", rep)
+	}
+	var distFail bool
+	for _, c := range rep.Failures() {
+		if strings.HasPrefix(c.Name, "dist/") {
+			distFail = true
+		}
+	}
+	if !distFail {
+		t.Fatalf("no dist/ check failed for corrupted model:\n%s", rep)
+	}
+}
+
+// TestGoldenRoundTrip: Save/Load preserves the tolerances and repeated
+// derivation is byte-stable.
+func TestGoldenRoundTrip(t *testing.T) {
+	ds, m := setup(t)
+	opts := fixOpts(ds)
+	opts.SkipHTTP = true
+	rep, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.DeriveGolden(opts)
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(g)
+	jb, _ := json.Marshal(loaded)
+	if string(ja) != string(jb) {
+		t.Fatalf("golden round-trip changed content:\n%s\nvs\n%s", ja, jb)
+	}
+
+	// Re-deriving from a fresh identical run yields identical bytes.
+	rep2, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(t.TempDir(), "golden2.json")
+	if err := rep2.DeriveGolden(opts).Save(path2); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(path)
+	b2, _ := os.ReadFile(path2)
+	if string(b1) != string(b2) {
+		t.Fatalf("golden derivation not byte-stable:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestGoldenDatasetMismatch: tolerances derived on one dataset must not
+// silently gate another.
+func TestGoldenDatasetMismatch(t *testing.T) {
+	ds, m := setup(t)
+	opts := fixOpts(ds)
+	opts.SkipHTTP = true
+	rep, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rep.DeriveGolden(opts)
+	g.Dataset = "B"
+	opts.Golden = g
+	rep, err = Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, c := range rep.Failures() {
+		if c.Name == "dist/golden-config" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dataset mismatch not flagged:\n%s", rep)
+	}
+}
+
+// TestLoadAwareSINRCheck trains a minimal load-aware model with a SINR
+// channel and asserts the load-monotonicity invariant actually runs (and
+// holds) for it.
+func TestLoadAwareSINRCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains an extra model")
+	}
+	ds, _ := setup(t)
+	cfg := fixCfg()
+	cfg.Channels = core.StandardChannels()
+	cfg.LoadAware = true
+	var train []*core.Sequence
+	for _, run := range ds.TrainRuns() {
+		train = append(train, core.PrepareSequenceWith(run, cfg.Channels, core.PrepareOptions{
+			MaxCells: cfg.MaxCells, LoadAware: true,
+		}))
+	}
+	m := core.NewModel(cfg)
+	m.Train(train, nil)
+
+	opts := fixOpts(ds)
+	opts.SkipHTTP = true
+	rep, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c CheckResult
+	var ok bool
+	for _, ch := range rep.Checks {
+		if ch.Name == "meta/monotonic-sinr-load" {
+			c, ok = ch, true
+		}
+	}
+	if !ok {
+		t.Fatalf("meta/monotonic-sinr-load missing:\n%s", rep)
+	}
+	if c.Skipped {
+		t.Fatalf("meta/monotonic-sinr-load skipped for load-aware model: %s", c.Detail)
+	}
+	if !c.Passed {
+		t.Fatalf("meta/monotonic-sinr-load failed: %s", c)
+	}
+}
