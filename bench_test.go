@@ -305,18 +305,42 @@ func BenchmarkTrain(b *testing.B) {
 	}
 }
 
-// BenchmarkGenerate measures single-sequence generation on a trained model
-// (the serial hot path: per-step allocations dominate without pooling).
+// BenchmarkGenerate measures single-sequence generation on a trained
+// model across the three serving backends: the live float64 model (the
+// training-faithful path) and the frozen f32/int8 inference kernels
+// (BENCH_infer.json tracks the speedups). One model is trained and frozen
+// outside the timer so the sub-benchmarks compare pure generation cost.
 func BenchmarkGenerate(b *testing.B) {
 	train, test, cfg := benchModelSetup(1)
 	m := NewModel(cfg)
 	m.Train(train, nil)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if out := m.Generate(test); len(out) != test.Len() {
-			b.Fatal("bad generation")
+
+	run := func(b *testing.B, g ModelGenerator) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if out := g.GenerateSeeded(test, int64(1)); len(out) != test.Len() {
+				b.Fatal("bad generation")
+			}
 		}
+	}
+	b.Run("f64", func(b *testing.B) {
+		// Generate (not GenerateSeeded) keeps the historical measurement:
+		// the serial hot path on the model's own RNG stream.
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if out := m.Generate(test); len(out) != test.Len() {
+				b.Fatal("bad generation")
+			}
+		}
+	})
+	for _, p := range []Precision{PrecisionF32, PrecisionInt8} {
+		im, err := m.Freeze(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(string(p), func(b *testing.B) { run(b, im) })
 	}
 }
 

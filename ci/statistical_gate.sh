@@ -34,6 +34,16 @@ echo "=== statistical gate: healthy model must pass ==="
 "$work/gendt-validate" -model "$work/model.json" "${GATE_ARGS[@]}" \
     -golden "$GOLDEN" | tee "$work/pass.log"
 
+echo "=== statistical gate: frozen f32/int8 backends must pass ==="
+# The frozen inference kernels serve the same statistical contract as the
+# live model: every distributional tolerance and metamorphic invariant
+# must hold at both quantized precisions (determinism is checked per
+# precision inside the suite).
+for prec in f32 int8; do
+    "$work/gendt-validate" -model "$work/model.json" "${GATE_ARGS[@]}" \
+        -golden "$GOLDEN" -precision "$prec" | tee "$work/pass-$prec.log"
+done
+
 echo "=== statistical gate: corrupted model must fail ==="
 if "$work/gendt-validate" -model "$work/model.json" "${GATE_ARGS[@]}" \
     -golden "$GOLDEN" -corrupt 0.5 >"$work/fail.log" 2>&1; then

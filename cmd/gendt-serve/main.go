@@ -19,6 +19,7 @@
 //	            [-addr :8080] [-dataset A|B] [-scale F] [-seed N]
 //	            [-batch-window 2ms] [-batch-max 64] [-timeout 30s]
 //	            [-max-body 8388608] [-max-samples 64] [-workers N]
+//	            [-precision f64|f32|int8] [-pprof-addr 127.0.0.1:6060]
 package main
 
 import (
@@ -28,12 +29,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"gendt/internal/core"
 	"gendt/internal/dataset"
 	"gendt/internal/serve"
 )
@@ -75,11 +78,22 @@ func main() {
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "max request body bytes")
 	maxSamples := flag.Int("max-samples", serve.DefaultMaxSamples, "max samples per request")
 	workers := flag.Int("workers", 0, "generation fan-out width override (0 = per-model setting)")
+	precision := flag.String("precision", "", "serving backend for every model: f64 (live float64), f32, or int8 (frozen inference kernels); empty honours each model file's own preference")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables profiling")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gendt-serve: ", log.LstdFlags)
 	if len(models) == 0 {
 		logger.Fatal("at least one -model is required")
+	}
+	if *precision != "" {
+		prec, err := core.ParsePrecision(*precision)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		for i := range models {
+			models[i].Precision = prec
+		}
 	}
 
 	reg, err := serve.NewRegistry(models, *workers)
@@ -108,6 +122,29 @@ func main() {
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Profiling stays off the serving mux and off by default: pprof
+	// exposes heap and goroutine internals, so it only ever binds the
+	// explicitly requested (typically loopback) address.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{
+				Addr:              *pprofAddr,
+				Handler:           pmux,
+				ReadHeaderTimeout: 10 * time.Second,
+			}
+			logger.Printf("pprof on %s", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Printf("pprof: %v", err)
+			}
+		}()
 	}
 
 	// SIGHUP hot-reloads every model file; a failed file keeps its old

@@ -10,6 +10,7 @@
 //	gendt-validate -model model.json -golden validate/golden/gate-a.json
 //	               [-dataset A|B] [-scale F] [-seed N] [-routes N]
 //	               [-samples N] [-max-route-len N] [-workers N]
+//	               [-precision f64|f32|int8]
 //	               [-update-golden] [-corrupt SIGMA] [-skip-http] [-json]
 //
 // Exit status: 0 all checks passed; 1 at least one check failed (each
@@ -40,6 +41,7 @@ func main() {
 	golden := flag.String("golden", "", "golden tolerance file for the distributional gates")
 	updateGolden := flag.Bool("update-golden", false, "derive tolerances from this run and write them to -golden")
 	corrupt := flag.Float64("corrupt", 0, "perturb every weight with Gaussian noise of this sigma before validating (negative-control hook)")
+	precision := flag.String("precision", "", "backend to validate: f64 (live model, default), f32, or int8 (frozen inference kernels)")
 	skipHTTP := flag.Bool("skip-http", false, "skip the HTTP /v1/generate determinism check")
 	asJSON := flag.Bool("json", false, "print the full report as JSON instead of text")
 	flag.Parse()
@@ -76,11 +78,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	prec, err := core.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-validate:", err)
+		os.Exit(2)
+	}
 	opts := validate.Options{
 		Dataset: ds, Routes: *routes, SamplesPerRoute: *samples,
 		MaxRouteLen: *maxRouteLen, Seed: *seed, Workers: *workers,
-		SkipHTTP: *skipHTTP,
-		Logf:     func(f string, a ...any) { fmt.Printf(f+"\n", a...) },
+		SkipHTTP:  *skipHTTP,
+		Precision: prec,
+		Logf:      func(f string, a ...any) { fmt.Printf(f+"\n", a...) },
 	}
 	if *golden != "" && !*updateGolden {
 		opts.Golden, err = validate.LoadGolden(*golden)

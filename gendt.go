@@ -74,6 +74,27 @@ var (
 	KPIChannel = core.KPIChannel
 )
 
+// InferModel is a frozen float32/int8 inference snapshot of a trained
+// Model, built with Model.Freeze — the blocked-kernel fast path behind
+// gendt-serve's -precision flag.
+type InferModel = core.InferModel
+
+// Precision names a serving backend: f64 (the live model), f32, or int8.
+type Precision = core.Precision
+
+// Serving precisions.
+const (
+	PrecisionF64  = core.PrecisionF64
+	PrecisionF32  = core.PrecisionF32
+	PrecisionInt8 = core.PrecisionInt8
+)
+
+// ModelGenerator is the read-only generation interface shared by the live
+// Model and the frozen InferModel; the serving and validation layers are
+// written against it. (Named to avoid colliding with the baselines'
+// Generator interface below.)
+type ModelGenerator = core.Generator
+
 // PrepareOptions controls sequence preparation (cell cap, closed-loop
 // load awareness).
 type PrepareOptions = core.PrepareOptions

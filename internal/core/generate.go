@@ -187,12 +187,18 @@ func clamp01(v float64) float64 {
 // DenormalizeSeries converts a generated normalized [T][nch] series to
 // physical per-channel series, indexed [channel][t].
 func (m *Model) DenormalizeSeries(norm [][]float64) [][]float64 {
-	nch := len(m.Cfg.Channels)
+	return denormalizeSeries(m.Cfg.Channels, norm)
+}
+
+// denormalizeSeries is DenormalizeSeries shared between the live model and
+// the frozen InferModel.
+func denormalizeSeries(channels []ChannelSpec, norm [][]float64) [][]float64 {
+	nch := len(channels)
 	out := make([][]float64, nch)
 	for c := 0; c < nch; c++ {
 		out[c] = make([]float64, len(norm))
 		for t := range norm {
-			out[c][t] = m.Cfg.Channels[c].Denormalize(norm[t][c])
+			out[c][t] = channels[c].Denormalize(norm[t][c])
 		}
 	}
 	return out

@@ -45,6 +45,13 @@ type Config struct {
 	// prepared with PrepareOptions.LoadAware.
 	LoadAware bool
 
+	// Precision records the preferred serving backend for this model
+	// (empty means f64, the live model). It does not change training —
+	// training is always float64 — but Save/Load round-trip it so a model
+	// file can declare "serve me quantized" and the serving registry
+	// freezes it accordingly unless overridden by -precision.
+	Precision Precision
+
 	// Ablation switches (paper §C.1). All false for full GenDT.
 	NoResGen  bool // drop the residual generator
 	NoSRNN    bool // disable the stochastic h/c layers

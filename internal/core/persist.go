@@ -54,6 +54,7 @@ type cfgSnap struct {
 	NoSRNN    bool    `json:"no_srnn"`
 	Seed      int64   `json:"seed"`
 	Workers   int     `json:"workers,omitempty"`
+	Precision string  `json:"precision,omitempty"`
 }
 
 // maxDim bounds every persisted size field. NewModel allocates O(dim²)
@@ -85,6 +86,9 @@ func (c cfgSnap) validate(nChannels int) error {
 	}
 	if c.DropoutP < 0 || c.DropoutP >= 1 {
 		return fmt.Errorf("core: load: dropout_p = %v out of range [0, 1)", c.DropoutP)
+	}
+	if _, err := ParsePrecision(c.Precision); err != nil {
+		return fmt.Errorf("core: load: %w", err)
 	}
 	return nil
 }
@@ -154,7 +158,7 @@ func (m *Model) encodeSnapshot() ([]byte, error) {
 			AH: m.Cfg.AH, AC: m.Cfg.AC, DropoutP: m.Cfg.DropoutP,
 			LoadAware: m.Cfg.LoadAware,
 			NoResGen:  m.Cfg.NoResGen, NoSRNN: m.Cfg.NoSRNN, Seed: m.Cfg.Seed,
-			Workers: m.Cfg.Workers,
+			Workers: m.Cfg.Workers, Precision: string(m.Cfg.Precision),
 		},
 	}
 	for _, ch := range m.Cfg.Channels {
@@ -271,7 +275,7 @@ func Load(r io.Reader) (*Model, error) {
 		AH: c.AH, AC: c.AC, DropoutP: c.DropoutP,
 		LoadAware: c.LoadAware,
 		NoResGen:  c.NoResGen, NoSRNN: c.NoSRNN, Seed: c.Seed,
-		Workers: c.Workers,
+		Workers: c.Workers, Precision: Precision(c.Precision),
 	})
 	params := m.allParams()
 	if len(params) != len(snap.Params) {

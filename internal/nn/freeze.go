@@ -1,0 +1,260 @@
+package nn
+
+import "math/rand"
+
+// Frozen inference layers: immutable float32 (or int8) snapshots of the
+// trained float64 layers, shaped for the blocked kernels in kernels.go.
+// Freezing separates weights from state — a FrozenDense/InferLSTM holds
+// only weights and is safe to share across any number of goroutines, while
+// every generation job owns an InferLSTMState — which is what lets the
+// serving path run on one frozen snapshot with zero cloning.
+
+// FrozenDense is an immutable dense weight block with either a float32 or
+// an int8 backend. Exactly one of W and Q is set; Bias (optional) is kept
+// in float32 for both backends — quantizing a bias saves nothing and
+// costs accuracy, since it is added once per output, not multiplied
+// per column.
+//
+// The f32 backend additionally carries a column-major mirror (WT) with
+// rows zero-padded to the 8-lane kernel width, plus the bias pre-padded
+// to match (BiasPad): that is the layout GemvColF32's AVX kernel wants,
+// and the zero padding means the kernel can always write full register
+// tiles into a y of at least PadRows entries — the pad rows compute
+// 0·x+0 and land beyond y[:Rows], where callers never look.
+type FrozenDense struct {
+	Rows, Cols int
+	PadRows    int       // Rows rounded up to the 8-lane kernel width
+	W          []float32 // row-major f32 weights (nil when quantized)
+	WT         []float32 // column-major [Cols][PadRows] mirror (f32 only)
+	BiasPad    []float32 // [PadRows] bias, zeros where absent (f32 only)
+	Q          []int8    // int8 backend (nil when f32)
+	RowScale   []float32 // per-output-row dequantization scales (int8 only)
+	Bias       []float32 // len Rows, or nil
+}
+
+// Apply computes y = W·x (+ bias). xq is caller scratch of at least Cols
+// for the int8 backend's dynamically quantized activations; the f32
+// backend ignores it. The f32 backend takes the blocked column-major
+// kernel whenever the caller's y has room for the padded rows, which
+// every hot-path scratch buffer does; a short y falls back to the
+// row-major kernel and stays correct.
+func (d *FrozenDense) Apply(x, y []float32, xq []int8) {
+	if d.W != nil {
+		if len(y) >= d.PadRows {
+			GemvColF32(d.WT, d.PadRows, d.Cols, x, d.BiasPad, y)
+			return
+		}
+		MatVecF32(d.W, d.Rows, d.Cols, x, y)
+	} else {
+		xScale := QuantizeVecInt8(x[:d.Cols], xq)
+		MatVecInt8(d.Q, d.Rows, d.Cols, xq, d.RowScale, xScale, y)
+	}
+	if d.Bias != nil {
+		for i, b := range d.Bias[:d.Rows] {
+			y[i] += b
+		}
+	}
+}
+
+// newFrozenDense builds a FrozenDense from float64 row-major weights,
+// quantizing to int8 when quant is set.
+func newFrozenDense(w64 []float64, rows, cols int, bias64 []float64, quant bool) *FrozenDense {
+	if len(w64) < rows*cols {
+		panic("nn: newFrozenDense weight size mismatch")
+	}
+	d := &FrozenDense{Rows: rows, Cols: cols, PadRows: pad8(rows)}
+	w := make([]float32, rows*cols)
+	for i := range w {
+		w[i] = float32(w64[i])
+	}
+	if bias64 != nil {
+		d.Bias = make([]float32, rows)
+		for i := range d.Bias {
+			d.Bias[i] = float32(bias64[i])
+		}
+	}
+	if quant {
+		d.Q, d.RowScale = QuantizeRowsInt8(w, rows, cols)
+	} else {
+		d.W = w
+		d.WT = PackColMajor(w, rows, cols)
+		d.BiasPad = make([]float32, d.PadRows)
+		copy(d.BiasPad, d.Bias)
+	}
+	return d
+}
+
+// FreezeLinear snapshots a Linear layer for inference.
+func FreezeLinear(l *Linear, quant bool) *FrozenDense {
+	return newFrozenDense(l.W.W, l.Out, l.In, l.B.W, quant)
+}
+
+// InferLSTM is the frozen counterpart of LSTM. The four gate matmuls of a
+// step are fused into one packed [4H × (In+H)] GEMV over xh = [x; h], so
+// the whole weight block streams through cache exactly once per step. The
+// per-row bias column of the trained layout is split out into the dense's
+// float32 Bias (biases must not be quantized away with the weights).
+// Gate rows are restacked [i; f; o; g] — sigmoid gates first — so the
+// step applies the vectorized sigmoid to one contiguous 3H block and the
+// vectorized tanh to the last H.
+type InferLSTM struct {
+	In, Hidden int
+	AH, AC     float32
+	Noise      bool
+	Gates      *FrozenDense // rows = 4H stacked [i; f; o; g], cols = In+H
+}
+
+// FreezeLSTM repacks a trained LSTM's gate weights for the fused kernel.
+func FreezeLSTM(l *LSTM, quant bool) *InferLSTM {
+	H := l.Hidden
+	srcCols := l.In + H + 1
+	dstCols := l.In + H
+	w64 := make([]float64, 4*H*dstCols)
+	bias64 := make([]float64, 4*H)
+	// Trained gate order is [i; f; g; o]; the frozen stack wants
+	// [i; f; o; g].
+	for dstGate, srcGate := range [4]int{0, 1, 3, 2} {
+		for j := 0; j < H; j++ {
+			dst := dstGate*H + j
+			src := l.W.W[(srcGate*H+j)*srcCols:]
+			copy(w64[dst*dstCols:(dst+1)*dstCols], src[:dstCols])
+			bias64[dst] = src[dstCols]
+		}
+	}
+	return &InferLSTM{
+		In: l.In, Hidden: H,
+		AH: float32(l.AH), AC: float32(l.AC), Noise: l.NoiseActive,
+		Gates: newFrozenDense(w64, 4*H, dstCols, bias64, quant),
+	}
+}
+
+// InferLSTMState is one job's recurrent state plus step scratch for an
+// InferLSTM. The weights stay in the shared InferLSTM; states are cheap
+// and pooled by the caller. H aliases the tail of xh, so the recurrent
+// input needs no copy per step: Step reads [x; h] directly. C and the
+// activation scratch carry zero padding out to the kernel lane width,
+// which is what lets every activation pass in Step run as a full-width
+// vector call with no scalar tail.
+type InferLSTMState struct {
+	H, C []float32
+	cp   []float32 // C's padded backing (cp[:Hidden] == C, rest zero)
+	tc   []float32 // tanh(C) scratch, padded
+	gt   []float32 // tanh(g-gate) scratch, padded
+	xh   []float32 // packed [x; h] GEMV input; callers write x into Input()
+	z    []float32 // gate pre-activations, padded (see Step's layout note)
+	xq   []int8    // int8 backend activation scratch
+}
+
+// NewState allocates a zeroed state sized for this LSTM.
+func (l *InferLSTM) NewState() *InferLSTMState {
+	H := l.Hidden
+	xh := make([]float32, l.In+H)
+	cp := make([]float32, pad8(H))
+	// z holds the [i; f; o] block rounded up to full lanes, then the g
+	// block with its own lane padding: the sigmoid pass may scribble on
+	// [3H : pad8(3H)) and the g-gate read may run to 3H+pad8(H), so the
+	// two regions must not share lanes with anything live.
+	return &InferLSTMState{
+		H:  xh[l.In : l.In+H : l.In+H],
+		C:  cp[:H:H],
+		cp: cp,
+		tc: make([]float32, pad8(H)),
+		gt: make([]float32, pad8(H)),
+		xh: xh,
+		z:  make([]float32, pad8(3*H)+pad8(H)),
+		xq: make([]int8, l.In+H),
+	}
+}
+
+// Reset zeroes the recurrent state (start of a new batch).
+func (l *InferLSTM) Reset(st *InferLSTMState) {
+	for i := range st.H {
+		st.H[i] = 0
+		st.C[i] = 0
+	}
+}
+
+// Input returns the slice the caller fills with the step input before
+// Step — writing in place avoids a copy per step.
+func (st *InferLSTMState) Input(in int) []float32 { return st.xh[:in] }
+
+// Step advances one timestep: one fused GEMV for all four gates, the
+// vectorized gate activations (one sigmoid pass over [i; f; o], one tanh
+// pass over g, one over the updated cell), the cell update, and (when
+// enabled) the stochastic h/c modulation, mirroring LSTM.Step's float64
+// semantics in float32. The returned slice aliases st.H and is valid
+// until the next Step or Reset on the same state.
+func (l *InferLSTM) Step(st *InferLSTMState, rng *rand.Rand) []float32 {
+	l.Gates.Apply(st.xh, st.z, st.xq) // st.H aliases xh[In:], so xh is [x; h]
+	H := l.Hidden
+	zi, zf, zo := st.z[:H], st.z[H:2*H], st.z[2*H:3*H]
+	// Every activation pass below runs on full 8-lane blocks — the
+	// padded regions of z, cp, tc, and gt absorb the overhang, so no
+	// scalar tail runs even when H is not a multiple of 8. Order
+	// matters: tanh consumes the g block before the sigmoid pass
+	// scribbles on [3H : pad8(3H)).
+	TanhVecF32(st.gt, st.z[3*H:3*H+len(st.gt)])
+	SigmoidVecF32(st.z[:pad8(3*H)])
+	C := st.C
+	for j := 0; j < H; j++ {
+		C[j] = zf[j]*C[j] + zi[j]*st.gt[j]
+	}
+	TanhVecF32(st.tc, st.cp)
+	for j := 0; j < H; j++ {
+		st.H[j] = zo[j] * st.tc[j]
+	}
+	if l.Noise && (l.AH > 0 || l.AC > 0) {
+		ModulateF32(st.H, l.AH, rng)
+		ModulateF32(st.C, l.AC, rng)
+	}
+	return st.H
+}
+
+// ModulateF32 is the float32 mirror of LSTM.modulate (paper §A.2): add
+// centred uniform noise scaled by the vector's mean |v|, then renormalize
+// by the absolute-mass ratio clamped to [0.5, 2]. It consumes exactly
+// len(v) rng.Float64 draws, matching the float64 path's RNG schedule —
+// the per-precision determinism contract cares about draw counts, not
+// arithmetic width.
+func ModulateF32(v []float32, a float32, rng *rand.Rand) {
+	if a <= 0 {
+		return
+	}
+	mean := float32(0)
+	for _, x := range v {
+		if x < 0 {
+			mean -= x
+		} else {
+			mean += x
+		}
+	}
+	mean /= float32(len(v))
+	sumBefore, sumAfter := float32(0), float32(0)
+	for i, x := range v {
+		n := float32(rng.Float64()-0.5) * mean
+		nv := x + a*n
+		v[i] = nv
+		if x < 0 {
+			sumBefore -= x
+		} else {
+			sumBefore += x
+		}
+		if nv < 0 {
+			sumAfter -= nv
+		} else {
+			sumAfter += nv
+		}
+	}
+	scale := float32(1)
+	if sumAfter > 1e-12 {
+		scale = sumBefore / sumAfter
+	}
+	if scale < 0.5 {
+		scale = 0.5
+	} else if scale > 2 {
+		scale = 2
+	}
+	for i := range v {
+		v[i] *= scale
+	}
+}

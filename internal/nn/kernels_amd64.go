@@ -1,0 +1,51 @@
+package nn
+
+// AVX2+FMA fast paths for the inference kernels. The assembly in
+// kernels_amd64.s is only entered when the CPU (and the OS, via XCR0)
+// supports AVX2, FMA, and YMM state; every other machine takes the
+// portable Go kernels, which compute the same function. Within one
+// process the dispatch decision is fixed at init, so the per-precision
+// bit-exactness contract (same machine, same binary, same output) holds
+// on both paths.
+
+var useAVX = detectAVX()
+
+// detectAVX mirrors the runtime's feature detection: AVX2 and FMA in
+// CPUID, and OS-enabled XMM+YMM state via XGETBV (guarded by OSXSAVE,
+// without which XGETBV would fault).
+func detectAVX() bool {
+	maxID, _, _, _ := cpuidRaw(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidRaw(1, 0)
+	const need = 1<<27 | 1<<28 | 1<<12 // OSXSAVE | AVX | FMA
+	if ecx1&need != need {
+		return false
+	}
+	if lo, _ := xgetbv0(); lo&6 != 6 { // XMM and YMM state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuidRaw(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+//go:noescape
+func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+//go:noescape
+func xgetbv0() (lo, hi uint32)
+
+// gemvColAsm computes y[0:rows] = bias[0:rows] + W·x on a column-major
+// weight mirror: wt holds cols consecutive blocks of rowsBytes/4
+// float32s (one block per input column), rowsBytes % 32 == 0, cols >= 1.
+//
+//go:noescape
+func gemvColAsm(wt, x, bias, y *float32, rowsBytes, cols int64)
+
+// vsigAsm computes dst[i] = a/(1+e^t)+b with t = clamp(negScale·src[i],
+// ±87) for i < n, n % 8 == 0, n >= 8 — the shared core of the
+// vectorized sigmoid (negScale,a,b = -1,1,0) and tanh (-2,2,-1).
+//
+//go:noescape
+func vsigAsm(dst, src *float32, n int64, negScale, a, b float32)

@@ -1,0 +1,215 @@
+// AVX2+FMA inference kernels. Only reached when kernels_amd64.go's
+// feature detection succeeds; the portable Go kernels are the reference
+// implementations these are tested against.
+
+#include "textflag.h"
+
+// func cpuidRaw(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (lo, hi uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, lo+0(FP)
+	MOVL DX, hi+4(FP)
+	RET
+
+// func gemvColAsm(wt, x, bias, y *float32, rowsBytes, cols int64)
+//
+// y = bias + W·x over the column-major mirror wt (cols blocks of
+// rowsBytes bytes, one block per input column). The row dimension is
+// walked in 32-float tiles held in four YMM accumulators — initialized
+// from bias, so the bias add costs nothing — with 8-float tiles for the
+// remainder. Per column the kernel broadcasts one x element and FMAs it
+// against the tile's weight rows: no horizontal reductions anywhere,
+// which is what makes the short, wide layers of a small LSTM fast.
+TEXT ·gemvColAsm(SB), NOSPLIT, $0-48
+	MOVQ wt+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ bias+16(FP), R15
+	MOVQ y+24(FP), DX
+	MOVQ rowsBytes+32(FP), CX
+	MOVQ cols+40(FP), BX
+	XORQ R8, R8                // byte offset into the row dimension
+
+tile32:
+	MOVQ CX, AX
+	SUBQ R8, AX
+	CMPQ AX, $128
+	JLT  tile8
+	VMOVUPS 0(R15)(R8*1), Y0   // accumulators start at the bias
+	VMOVUPS 32(R15)(R8*1), Y1
+	VMOVUPS 64(R15)(R8*1), Y2
+	VMOVUPS 96(R15)(R8*1), Y3
+	LEAQ (DI)(R8*1), R9        // this tile's rows in column 0
+	MOVQ SI, R10               // x cursor
+	MOVQ BX, R11               // columns remaining
+
+col32:
+	VBROADCASTSS (R10), Y4
+	VFMADD231PS 0(R9), Y4, Y0
+	VFMADD231PS 32(R9), Y4, Y1
+	VFMADD231PS 64(R9), Y4, Y2
+	VFMADD231PS 96(R9), Y4, Y3
+	ADDQ CX, R9
+	ADDQ $4, R10
+	DECQ R11
+	JNE  col32
+	VMOVUPS Y0, 0(DX)(R8*1)
+	VMOVUPS Y1, 32(DX)(R8*1)
+	VMOVUPS Y2, 64(DX)(R8*1)
+	VMOVUPS Y3, 96(DX)(R8*1)
+	ADDQ $128, R8
+	JMP  tile32
+
+tile8:
+	CMPQ R8, CX
+	JGE  done
+	VMOVUPS (R15)(R8*1), Y0
+	LEAQ (DI)(R8*1), R9
+	MOVQ SI, R10
+	MOVQ BX, R11
+
+col8:
+	VBROADCASTSS (R10), Y4
+	VFMADD231PS (R9), Y4, Y0
+	ADDQ CX, R9
+	ADDQ $4, R10
+	DECQ R11
+	JNE  col8
+	VMOVUPS Y0, (DX)(R8*1)
+	ADDQ $32, R8
+	JMP  tile8
+
+done:
+	VZEROUPPER
+	RET
+
+// Broadcast scalars for vsigAsm (loaded with VBROADCASTSS).
+DATA vsigHi<>+0(SB)/4, $0x42ae0000     // +87.0
+GLOBL vsigHi<>(SB), RODATA|NOPTR, $4
+DATA vsigLo<>+0(SB)/4, $0xc2ae0000     // -87.0
+GLOBL vsigLo<>(SB), RODATA|NOPTR, $4
+DATA vsigInvLn2<>+0(SB)/4, $0x3fb8aa3b // log2(e)
+GLOBL vsigInvLn2<>(SB), RODATA|NOPTR, $4
+DATA vsigLn2Hi<>+0(SB)/4, $0x3f318000  // ln2 hi split
+GLOBL vsigLn2Hi<>(SB), RODATA|NOPTR, $4
+DATA vsigLn2Lo<>+0(SB)/4, $0xb95e8083  // ln2 lo split
+GLOBL vsigLn2Lo<>(SB), RODATA|NOPTR, $4
+DATA vsigOne<>+0(SB)/4, $0x3f800000    // 1.0
+GLOBL vsigOne<>(SB), RODATA|NOPTR, $4
+DATA vsigC6<>+0(SB)/4, $0x3ab60b61     // 1/720
+GLOBL vsigC6<>(SB), RODATA|NOPTR, $4
+DATA vsigExpBias<>+0(SB)/4, $127       // float32 exponent bias (int32)
+GLOBL vsigExpBias<>(SB), RODATA|NOPTR, $4
+
+// Full-width Horner addends (memory operands of VFMADD213PS).
+DATA vsigC5x8<>+0(SB)/4, $0x3c088889 // 1/120
+DATA vsigC5x8<>+4(SB)/4, $0x3c088889
+DATA vsigC5x8<>+8(SB)/4, $0x3c088889
+DATA vsigC5x8<>+12(SB)/4, $0x3c088889
+DATA vsigC5x8<>+16(SB)/4, $0x3c088889
+DATA vsigC5x8<>+20(SB)/4, $0x3c088889
+DATA vsigC5x8<>+24(SB)/4, $0x3c088889
+DATA vsigC5x8<>+28(SB)/4, $0x3c088889
+GLOBL vsigC5x8<>(SB), RODATA|NOPTR, $32
+DATA vsigC4x8<>+0(SB)/4, $0x3d2aaaab // 1/24
+DATA vsigC4x8<>+4(SB)/4, $0x3d2aaaab
+DATA vsigC4x8<>+8(SB)/4, $0x3d2aaaab
+DATA vsigC4x8<>+12(SB)/4, $0x3d2aaaab
+DATA vsigC4x8<>+16(SB)/4, $0x3d2aaaab
+DATA vsigC4x8<>+20(SB)/4, $0x3d2aaaab
+DATA vsigC4x8<>+24(SB)/4, $0x3d2aaaab
+DATA vsigC4x8<>+28(SB)/4, $0x3d2aaaab
+GLOBL vsigC4x8<>(SB), RODATA|NOPTR, $32
+DATA vsigC3x8<>+0(SB)/4, $0x3e2aaaab // 1/6
+DATA vsigC3x8<>+4(SB)/4, $0x3e2aaaab
+DATA vsigC3x8<>+8(SB)/4, $0x3e2aaaab
+DATA vsigC3x8<>+12(SB)/4, $0x3e2aaaab
+DATA vsigC3x8<>+16(SB)/4, $0x3e2aaaab
+DATA vsigC3x8<>+20(SB)/4, $0x3e2aaaab
+DATA vsigC3x8<>+24(SB)/4, $0x3e2aaaab
+DATA vsigC3x8<>+28(SB)/4, $0x3e2aaaab
+GLOBL vsigC3x8<>(SB), RODATA|NOPTR, $32
+DATA vsigC2x8<>+0(SB)/4, $0x3f000000 // 1/2
+DATA vsigC2x8<>+4(SB)/4, $0x3f000000
+DATA vsigC2x8<>+8(SB)/4, $0x3f000000
+DATA vsigC2x8<>+12(SB)/4, $0x3f000000
+DATA vsigC2x8<>+16(SB)/4, $0x3f000000
+DATA vsigC2x8<>+20(SB)/4, $0x3f000000
+DATA vsigC2x8<>+24(SB)/4, $0x3f000000
+DATA vsigC2x8<>+28(SB)/4, $0x3f000000
+GLOBL vsigC2x8<>(SB), RODATA|NOPTR, $32
+DATA vsigC1x8<>+0(SB)/4, $0x3f800000 // 1
+DATA vsigC1x8<>+4(SB)/4, $0x3f800000
+DATA vsigC1x8<>+8(SB)/4, $0x3f800000
+DATA vsigC1x8<>+12(SB)/4, $0x3f800000
+DATA vsigC1x8<>+16(SB)/4, $0x3f800000
+DATA vsigC1x8<>+20(SB)/4, $0x3f800000
+DATA vsigC1x8<>+24(SB)/4, $0x3f800000
+DATA vsigC1x8<>+28(SB)/4, $0x3f800000
+GLOBL vsigC1x8<>(SB), RODATA|NOPTR, $32
+
+// func vsigAsm(dst, src *float32, n int64, negScale, a, b float32)
+//
+// dst[i] = a/(1+e^t)+b, t = clamp(negScale*src[i], ±87), eight lanes per
+// iteration. The exponential matches ExpF32's algorithm: range-reduce by
+// ln2 with a hi/lo split, degree-6 polynomial on the residual, scale by
+// 2^k built in the exponent field. Both sigmoid (-1,1,0) and tanh
+// (-2,2,-1) ride on the single-sided exponential, whose argument the
+// clamp keeps inside float32's normal range, so no lane ever needs a
+// special case.
+TEXT ·vsigAsm(SB), NOSPLIT, $0-36
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSS negScale+24(FP), Y8
+	VBROADCASTSS a+28(FP), Y9
+	VBROADCASTSS b+32(FP), Y10
+	VBROADCASTSS vsigHi<>(SB), Y11
+	VBROADCASTSS vsigLo<>(SB), Y12
+	VBROADCASTSS vsigInvLn2<>(SB), Y13
+	VBROADCASTSS vsigLn2Hi<>(SB), Y14
+	VBROADCASTSS vsigLn2Lo<>(SB), Y15
+	VBROADCASTSS vsigOne<>(SB), Y7
+	VPBROADCASTD vsigExpBias<>(SB), Y6
+
+loop:
+	VMOVUPS (SI), Y0
+	VMULPS  Y0, Y8, Y0         // t = negScale*x
+	VMINPS  Y11, Y0, Y0        // t = min(t, 87)
+	VMAXPS  Y12, Y0, Y0        // t = max(t, -87)
+	VMULPS  Y0, Y13, Y1        // t/ln2
+	VCVTPS2DQ Y1, Y2           // k (round to nearest)
+	VCVTDQ2PS Y2, Y1           // float(k)
+	VFNMADD231PS Y14, Y1, Y0   // f = t - k*ln2hi
+	VFNMADD231PS Y15, Y1, Y0   //       - k*ln2lo
+	VBROADCASTSS vsigC6<>(SB), Y3
+	VFMADD213PS vsigC5x8<>(SB), Y0, Y3 // Horner: p = p*f + c
+	VFMADD213PS vsigC4x8<>(SB), Y0, Y3
+	VFMADD213PS vsigC3x8<>(SB), Y0, Y3
+	VFMADD213PS vsigC2x8<>(SB), Y0, Y3
+	VFMADD213PS vsigC1x8<>(SB), Y0, Y3
+	VFMADD213PS vsigC1x8<>(SB), Y0, Y3
+	VPADDD  Y6, Y2, Y2         // biased exponent k+127 ∈ [1, 253]
+	VPSLLD  $23, Y2, Y2        // 2^k
+	VMULPS  Y2, Y3, Y3         // e = p * 2^k
+	VADDPS  Y7, Y3, Y3         // 1 + e
+	VDIVPS  Y3, Y9, Y4         // a / (1+e)
+	VADDPS  Y10, Y4, Y4        // + b
+	VMOVUPS Y4, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $8, CX
+	JNE  loop
+	VZEROUPPER
+	RET

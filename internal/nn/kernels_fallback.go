@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 builds always take the portable Go kernels; the stubs below
+// are never reached (every call site is guarded by useAVX).
+
+var useAVX = false
+
+func gemvColAsm(wt, x, bias, y *float32, rowsBytes, cols int64) {
+	panic("nn: gemvColAsm without AVX support")
+}
+
+func vsigAsm(dst, src *float32, n int64, negScale, a, b float32) {
+	panic("nn: vsigAsm without AVX support")
+}

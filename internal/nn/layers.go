@@ -13,6 +13,46 @@ import (
 // the matching Backward. Layers are not safe for concurrent use — the
 // data-parallel trainer clones the whole model per worker instead.
 
+// slicePool recycles fixed-length rows through a grab/release cycle. Every
+// pooled layer shares this one discipline: grab hands out a row (recycled
+// when one of the right length is free, freshly allocated otherwise) and
+// records it as outstanding; releaseLast recycles the most recently
+// grabbed row (the layer caches are LIFO, so the matching consumer is
+// always the latest row); releaseAll recycles everything outstanding.
+// Rows of a stale length are dropped on the floor for the GC.
+type slicePool[E any] struct {
+	free, used [][]E
+}
+
+// grab returns a row of length n and records it as outstanding.
+func (p *slicePool[E]) grab(n int) []E {
+	for m := len(p.free); m > 0; m = len(p.free) {
+		buf := p.free[m-1]
+		p.free = p.free[:m-1]
+		if len(buf) == n {
+			p.used = append(p.used, buf)
+			return buf
+		}
+	}
+	buf := make([]E, n)
+	p.used = append(p.used, buf)
+	return buf
+}
+
+// releaseLast recycles the most recently grabbed outstanding row.
+func (p *slicePool[E]) releaseLast() {
+	if m := len(p.used); m > 0 {
+		p.free = append(p.free, p.used[m-1])
+		p.used = p.used[:m-1]
+	}
+}
+
+// releaseAll recycles every outstanding row.
+func (p *slicePool[E]) releaseAll() {
+	p.free = append(p.free, p.used...)
+	p.used = p.used[:0]
+}
+
 // Linear is a fully connected layer y = W x + b.
 type Linear struct {
 	In, Out int
@@ -20,8 +60,8 @@ type Linear struct {
 
 	cache [][]float64 // stack of cached inputs
 
-	outFree, outUsed [][]float64 // pooled forward outputs
-	dxFree, dxOut    [][]float64 // pooled backward input-gradients
+	out slicePool[float64] // pooled forward outputs
+	dx  slicePool[float64] // pooled backward input-gradients
 }
 
 // NewLinear allocates a Glorot-initialized fully connected layer.
@@ -44,17 +84,8 @@ func (l *Linear) Forward(x []float64) []float64 {
 		panic("nn: Linear input dimension mismatch")
 	}
 	// Gradient rows issued by the previous backward pass are dead now.
-	if len(l.dxOut) > 0 {
-		l.dxFree = append(l.dxFree, l.dxOut...)
-		l.dxOut = l.dxOut[:0]
-	}
-	var y []float64
-	if n := len(l.outFree); n > 0 {
-		y = l.outFree[n-1]
-		l.outFree = l.outFree[:n-1]
-	} else {
-		y = make([]float64, l.Out)
-	}
+	l.dx.releaseAll()
+	y := l.out.grab(l.Out)
 	for o := 0; o < l.Out; o++ {
 		s := l.B.W[o]
 		row := l.W.W[o*l.In : (o+1)*l.In]
@@ -64,24 +95,16 @@ func (l *Linear) Forward(x []float64) []float64 {
 		y[o] = s
 	}
 	l.cache = append(l.cache, x)
-	l.outUsed = append(l.outUsed, y)
 	return y
 }
 
 // Backward implements Layer.
 func (l *Linear) Backward(dy []float64) []float64 {
 	x := l.pop()
-	var dx []float64
-	if n := len(l.dxFree); n > 0 {
-		dx = l.dxFree[n-1]
-		l.dxFree = l.dxFree[:n-1]
-		for i := range dx {
-			dx[i] = 0
-		}
-	} else {
-		dx = make([]float64, l.In)
+	dx := l.dx.grab(l.In)
+	for i := range dx {
+		dx[i] = 0
 	}
-	l.dxOut = append(l.dxOut, dx)
 	for o := 0; o < l.Out; o++ {
 		g := dy[o]
 		l.B.G[o] += g
@@ -103,10 +126,7 @@ func (l *Linear) pop() []float64 {
 	x := l.cache[n-1]
 	l.cache = l.cache[:n-1]
 	// The pooled output for this Forward is consumed; recycle it.
-	if m := len(l.outUsed); m > 0 {
-		l.outFree = append(l.outFree, l.outUsed[m-1])
-		l.outUsed = l.outUsed[:m-1]
-	}
+	l.out.releaseLast()
 	return x
 }
 
@@ -116,10 +136,8 @@ func (l *Linear) Params() []*Param { return []*Param{l.W, l.B} }
 // ClearCache implements Layer.
 func (l *Linear) ClearCache() {
 	l.cache = l.cache[:0]
-	l.outFree = append(l.outFree, l.outUsed...)
-	l.outUsed = l.outUsed[:0]
-	l.dxFree = append(l.dxFree, l.dxOut...)
-	l.dxOut = l.dxOut[:0]
+	l.out.releaseAll()
+	l.dx.releaseAll()
 }
 
 // LeakyReLU is the elementwise activation max(x, alpha*x).
@@ -127,8 +145,8 @@ type LeakyReLU struct {
 	Alpha float64
 	cache [][]float64
 
-	outFree, outUsed [][]float64
-	dxFree, dxOut    [][]float64
+	out slicePool[float64]
+	dx  slicePool[float64]
 }
 
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
@@ -137,26 +155,10 @@ func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 // Clone returns a LeakyReLU with the same slope and empty caches.
 func (l *LeakyReLU) Clone() *LeakyReLU { return NewLeakyReLU(l.Alpha) }
 
-// grab pops a pooled row of length n from free (dropping any stale row of
-// a different length) or allocates one.
-func grab(free *[][]float64, n int) []float64 {
-	for m := len(*free); m > 0; m = len(*free) {
-		buf := (*free)[m-1]
-		*free = (*free)[:m-1]
-		if len(buf) == n {
-			return buf
-		}
-	}
-	return make([]float64, n)
-}
-
 // Forward implements Layer.
 func (l *LeakyReLU) Forward(x []float64) []float64 {
-	if len(l.dxOut) > 0 {
-		l.dxFree = append(l.dxFree, l.dxOut...)
-		l.dxOut = l.dxOut[:0]
-	}
-	y := grab(&l.outFree, len(x))
+	l.dx.releaseAll()
+	y := l.out.grab(len(x))
 	for i, v := range x {
 		if v >= 0 {
 			y[i] = v
@@ -165,7 +167,6 @@ func (l *LeakyReLU) Forward(x []float64) []float64 {
 		}
 	}
 	l.cache = append(l.cache, x)
-	l.outUsed = append(l.outUsed, y)
 	return y
 }
 
@@ -174,12 +175,8 @@ func (l *LeakyReLU) Backward(dy []float64) []float64 {
 	n := len(l.cache)
 	x := l.cache[n-1]
 	l.cache = l.cache[:n-1]
-	if m := len(l.outUsed); m > 0 {
-		l.outFree = append(l.outFree, l.outUsed[m-1])
-		l.outUsed = l.outUsed[:m-1]
-	}
-	dx := grab(&l.dxFree, len(dy))
-	l.dxOut = append(l.dxOut, dx)
+	l.out.releaseLast()
+	dx := l.dx.grab(len(dy))
 	for i, v := range x {
 		if v >= 0 {
 			dx[i] = dy[i]
@@ -196,10 +193,8 @@ func (l *LeakyReLU) Params() []*Param { return nil }
 // ClearCache implements Layer.
 func (l *LeakyReLU) ClearCache() {
 	l.cache = l.cache[:0]
-	l.outFree = append(l.outFree, l.outUsed...)
-	l.outUsed = l.outUsed[:0]
-	l.dxFree = append(l.dxFree, l.dxOut...)
-	l.dxOut = l.dxOut[:0]
+	l.out.releaseAll()
+	l.dx.releaseAll()
 }
 
 // Dropout zeroes each input with probability P during training, scaling
@@ -210,11 +205,11 @@ type Dropout struct {
 	P      float64
 	Active bool
 	rng    *rand.Rand
-	cache  [][]bool
+	cache  [][]bool // grabbed masks, LIFO (aliases mask.used)
 
-	maskFree         [][]bool
-	outFree, outUsed [][]float64
-	dxFree, dxOut    [][]float64
+	mask slicePool[bool]
+	out  slicePool[float64]
+	dx   slicePool[float64]
 }
 
 // NewDropout returns an active dropout layer with its own RNG stream.
@@ -228,35 +223,17 @@ func (d *Dropout) Clone(rng *rand.Rand) *Dropout {
 	return &Dropout{P: d.P, Active: d.Active, rng: rng}
 }
 
-func (d *Dropout) grabMask(n int) []bool {
-	for m := len(d.maskFree); m > 0; m = len(d.maskFree) {
-		mask := d.maskFree[m-1]
-		d.maskFree = d.maskFree[:m-1]
-		if len(mask) == n {
-			for i := range mask {
-				mask[i] = false
-			}
-			return mask
-		}
-	}
-	return make([]bool, n)
-}
-
 // Forward implements Layer.
 func (d *Dropout) Forward(x []float64) []float64 {
-	if len(d.dxOut) > 0 {
-		d.dxFree = append(d.dxFree, d.dxOut...)
-		d.dxOut = d.dxOut[:0]
-	}
-	y := grab(&d.outFree, len(x))
-	mask := d.grabMask(len(x))
+	d.dx.releaseAll()
+	y := d.out.grab(len(x))
+	mask := d.mask.grab(len(x))
 	if !d.Active || d.P <= 0 {
 		copy(y, x)
 		for i := range mask {
 			mask[i] = true
 		}
 		d.cache = append(d.cache, mask)
-		d.outUsed = append(d.outUsed, y)
 		return y
 	}
 	keep := 1 - d.P
@@ -265,11 +242,11 @@ func (d *Dropout) Forward(x []float64) []float64 {
 			mask[i] = true
 			y[i] = v / keep
 		} else {
+			mask[i] = false
 			y[i] = 0
 		}
 	}
 	d.cache = append(d.cache, mask)
-	d.outUsed = append(d.outUsed, y)
 	return y
 }
 
@@ -278,13 +255,9 @@ func (d *Dropout) Backward(dy []float64) []float64 {
 	n := len(d.cache)
 	mask := d.cache[n-1]
 	d.cache = d.cache[:n-1]
-	d.maskFree = append(d.maskFree, mask)
-	if m := len(d.outUsed); m > 0 {
-		d.outFree = append(d.outFree, d.outUsed[m-1])
-		d.outUsed = d.outUsed[:m-1]
-	}
-	dx := grab(&d.dxFree, len(dy))
-	d.dxOut = append(d.dxOut, dx)
+	d.mask.releaseLast()
+	d.out.releaseLast()
+	dx := d.dx.grab(len(dy))
 	keep := 1 - d.P
 	for i := range dy {
 		if mask[i] {
@@ -305,12 +278,10 @@ func (d *Dropout) Params() []*Param { return nil }
 
 // ClearCache implements Layer.
 func (d *Dropout) ClearCache() {
-	d.maskFree = append(d.maskFree, d.cache...)
 	d.cache = d.cache[:0]
-	d.outFree = append(d.outFree, d.outUsed...)
-	d.outUsed = d.outUsed[:0]
-	d.dxFree = append(d.dxFree, d.dxOut...)
-	d.dxOut = d.dxOut[:0]
+	d.mask.releaseAll()
+	d.out.releaseAll()
+	d.dx.releaseAll()
 }
 
 // MLP is a sequential stack of layers sharing the Layer cache discipline.

@@ -52,8 +52,7 @@ type LSTM struct {
 	// plus pooled dx rows handed to the caller.
 	sDh, sDc         []float64
 	sDhPrev, sDcPrev []float64
-	dxFree           [][]float64
-	dxOut            [][]float64
+	dx               slicePool[float64]
 }
 
 type lstmStep struct {
@@ -272,17 +271,10 @@ func (l *LSTM) BackwardSteps(steps StepCache, dH [][]float64) [][]float64 {
 // getDx pops a recycled input-gradient row (zeroed) or allocates one, and
 // records it as issued to the caller.
 func (l *LSTM) getDx() []float64 {
-	var dx []float64
-	if n := len(l.dxFree); n > 0 {
-		dx = l.dxFree[n-1]
-		l.dxFree = l.dxFree[:n-1]
-		for i := range dx {
-			dx[i] = 0
-		}
-	} else {
-		dx = make([]float64, l.In)
+	dx := l.dx.grab(l.In)
+	for i := range dx {
+		dx[i] = 0
 	}
-	l.dxOut = append(l.dxOut, dx)
 	return dx
 }
 
@@ -300,8 +292,7 @@ func (l *LSTM) BackwardSeq(dH [][]float64) [][]float64 {
 		panic("nn: BackwardSeq gradient count mismatch")
 	}
 	// Rows issued by the previous backward pass are dead now; reclaim them.
-	l.dxFree = append(l.dxFree, l.dxOut...)
-	l.dxOut = l.dxOut[:0]
+	l.dx.releaseAll()
 	if l.sDh == nil {
 		l.sDh = make([]float64, l.Hidden)
 		l.sDc = make([]float64, l.Hidden)

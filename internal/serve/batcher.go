@@ -29,7 +29,7 @@ type batchItem struct {
 // changes results: a request's output is bit-identical whether it ran
 // alone or shared a batch (see core.GenerateJobs).
 type Batcher struct {
-	model  func() *core.Model // resolved per batch so hot reload takes effect
+	model  func() core.Generator // resolved per batch so hot reload takes effect
 	window time.Duration
 	max    int // max coalesced jobs per GenerateJobs call
 	met    *Metrics
@@ -50,7 +50,7 @@ const DefaultMaxBatch = 64
 // batch still absorbs whatever is already queued, but never delays the
 // first request (the correct setting for latency-sensitive single-client
 // use).
-func NewBatcher(model func() *core.Model, window time.Duration, maxBatch int, met *Metrics) *Batcher {
+func NewBatcher(model func() core.Generator, window time.Duration, maxBatch int, met *Metrics) *Batcher {
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}

@@ -9,36 +9,42 @@ import (
 	"gendt/internal/core"
 )
 
-// ModelSource names one model file the registry serves.
+// ModelSource names one model file the registry serves. Precision, when
+// non-empty, overrides the model file's own preferred serving precision
+// (Config.Precision): "f64" serves the live float64 model, "f32"/"int8"
+// freeze it into the corresponding inference backend at load time.
 type ModelSource struct {
-	Name string
-	Path string
+	Name      string
+	Path      string
+	Precision core.Precision
 }
 
 // ModelInfo is the /v1/models description of one registered model.
 type ModelInfo struct {
-	Name     string   `json:"name"`
-	Path     string   `json:"path"`
-	Channels []string `json:"channels"`
-	Hidden   int      `json:"hidden"`
-	BatchLen int      `json:"batch_len"`
-	MaxCells int      `json:"max_cells"`
-	Params   int      `json:"params"`
-	LoadedAt string   `json:"loaded_at"`
+	Name      string   `json:"name"`
+	Path      string   `json:"path"`
+	Channels  []string `json:"channels"`
+	Hidden    int      `json:"hidden"`
+	BatchLen  int      `json:"batch_len"`
+	MaxCells  int      `json:"max_cells"`
+	Params    int      `json:"params"`
+	Precision string   `json:"precision"`
+	LoadedAt  string   `json:"loaded_at"`
 }
 
 type modelEntry struct {
-	model    *core.Model
+	gen      core.Generator
 	source   ModelSource
 	loadedAt time.Time
 }
 
-// Registry maps model names to loaded GenDT models. Loaded models are
-// treated as immutable (the serving path only ever clones them via
-// GenerateJobs), so lookups hand out the shared pointer under a read lock
-// and Reload swaps entries atomically without quiescing in-flight work:
-// requests that already resolved a model finish against the snapshot they
-// got.
+// Registry maps model names to loaded GenDT generators — live float64
+// models or frozen f32/int8 inference snapshots, per the resolved
+// precision. Loaded generators are treated as immutable (the serving path
+// never mutates them), so lookups hand out the shared value under a read
+// lock and Reload swaps entries atomically without quiescing in-flight
+// work: requests that already resolved a generator finish against the
+// snapshot they got.
 type Registry struct {
 	mu      sync.RWMutex
 	sources []ModelSource
@@ -48,8 +54,8 @@ type Registry struct {
 
 // NewRegistry loads every source eagerly and fails fast on the first
 // unloadable model — a serve process should not start half-configured.
-// workers > 0 overrides each loaded model's Cfg.Workers (the generation
-// fan-out width); 0 keeps whatever the model was trained with.
+// workers > 0 overrides each loaded generator's worker count (the
+// generation fan-out width); 0 keeps whatever the model was trained with.
 func NewRegistry(sources []ModelSource, workers int) (*Registry, error) {
 	r := &Registry{sources: sources, workers: workers, models: make(map[string]modelEntry, len(sources))}
 	for _, s := range sources {
@@ -68,55 +74,73 @@ func NewRegistry(sources []ModelSource, workers int) (*Registry, error) {
 	return r, nil
 }
 
-// NewStaticRegistry wraps one already-loaded, in-memory model. It backs
+// NewStaticRegistry wraps one already-loaded, in-memory generator. It backs
 // callers that must serve a model that has no faithful on-disk source —
 // the validation gate's noise-corrupted negative control, for example —
 // through the exact /v1/generate pipeline. Reload is a no-op (there are no
-// sources to re-read); the model is treated as immutable like any other
+// sources to re-read); the generator is treated as immutable like any other
 // registry entry.
-func NewStaticRegistry(name string, m *core.Model) *Registry {
+func NewStaticRegistry(name string, g core.Generator) *Registry {
 	return &Registry{
 		models: map[string]modelEntry{
-			name: {model: m, source: ModelSource{Name: name, Path: "(in-memory)"}, loadedAt: time.Now()},
+			name: {gen: g, source: ModelSource{Name: name, Path: "(in-memory)"}, loadedAt: time.Now()},
 		},
 	}
 }
 
-// load reads one source and applies the worker override. The model is
-// mutated only here, before it becomes visible to any request.
+// load reads one source, resolves its serving precision, and applies the
+// worker override. Precision resolution order: the source's explicit
+// Precision (the -precision flag), then the model file's own
+// Config.Precision, then f64. The generator is finalized here, before it
+// becomes visible to any request.
 func (r *Registry) load(s ModelSource) (modelEntry, error) {
 	m, err := core.LoadFile(s.Path)
 	if err != nil {
 		return modelEntry{}, err
 	}
-	if r.workers > 0 {
-		m.Cfg.Workers = r.workers
+	prec := s.Precision
+	if prec == "" {
+		prec = m.Cfg.Precision
 	}
-	return modelEntry{model: m, source: s, loadedAt: time.Now()}, nil
+	if prec == "" {
+		prec = core.PrecisionF64
+	}
+	var g core.Generator = m
+	if prec != core.PrecisionF64 {
+		im, err := m.Freeze(prec)
+		if err != nil {
+			return modelEntry{}, err
+		}
+		g = im
+	}
+	if r.workers > 0 {
+		g = g.WithWorkers(r.workers)
+	}
+	return modelEntry{gen: g, source: s, loadedAt: time.Now()}, nil
 }
 
-// Get resolves a model by name. The empty name resolves iff exactly one
+// Get resolves a generator by name. The empty name resolves iff exactly one
 // model is registered (the single-model default).
-func (r *Registry) Get(name string) (*core.Model, bool) {
-	_, m, ok := r.Resolve(name)
-	return m, ok
+func (r *Registry) Get(name string) (core.Generator, bool) {
+	_, g, ok := r.Resolve(name)
+	return g, ok
 }
 
 // Resolve is Get plus the canonical registered name — the batcher map is
 // keyed by it so the empty-name default shares the single model's batcher.
-func (r *Registry) Resolve(name string) (string, *core.Model, bool) {
+func (r *Registry) Resolve(name string) (string, core.Generator, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	if name == "" && len(r.models) == 1 {
 		for n, e := range r.models {
-			return n, e.model, true
+			return n, e.gen, true
 		}
 	}
 	e, ok := r.models[name]
 	if !ok {
 		return "", nil, false
 	}
-	return name, e.model, true
+	return name, e.gen, true
 }
 
 // Names returns the registered model names, sorted.
@@ -137,16 +161,18 @@ func (r *Registry) List() []ModelInfo {
 	defer r.mu.RUnlock()
 	out := make([]ModelInfo, 0, len(r.models))
 	for _, e := range r.models {
+		cfg := e.gen.ModelConfig()
 		info := ModelInfo{
-			Name:     e.source.Name,
-			Path:     e.source.Path,
-			Hidden:   e.model.Cfg.Hidden,
-			BatchLen: e.model.Cfg.BatchLen,
-			MaxCells: e.model.Cfg.MaxCells,
-			Params:   e.model.ParamCount(),
-			LoadedAt: e.loadedAt.UTC().Format(time.RFC3339),
+			Name:      e.source.Name,
+			Path:      e.source.Path,
+			Hidden:    cfg.Hidden,
+			BatchLen:  cfg.BatchLen,
+			MaxCells:  cfg.MaxCells,
+			Params:    e.gen.ParamCount(),
+			Precision: string(e.gen.Precision()),
+			LoadedAt:  e.loadedAt.UTC().Format(time.RFC3339),
 		}
-		for _, ch := range e.model.Cfg.Channels {
+		for _, ch := range cfg.Channels {
 			info.Channels = append(info.Channels, ch.Name)
 		}
 		out = append(out, info)

@@ -169,9 +169,9 @@ func (s *Server) batcher(name string) *Batcher {
 		return b
 	}
 	reg := s.opt.Registry
-	b := NewBatcher(func() *core.Model {
-		m, _ := reg.Get(name)
-		return m
+	b := NewBatcher(func() core.Generator {
+		g, _ := reg.Get(name)
+		return g
 	}, s.opt.BatchWindow, s.opt.MaxBatch, s.met)
 	s.batchers[name] = b
 	return b
@@ -337,7 +337,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		PrepCached: cached,
 		GenMs:      float64(time.Since(start)) / float64(time.Millisecond),
 	}
-	for _, ch := range model.Cfg.Channels {
+	for _, ch := range model.ModelConfig().Channels {
 		resp.Channels = append(resp.Channels, ch.Name)
 	}
 	if samples > 1 {

@@ -57,8 +57,9 @@ func (w *World) Dataset() *dataset.Dataset { return w.ds }
 // context and converts it to the model-ready sequence, memoizing the
 // result. Prepared sequences are read-only on the generation path, so a
 // cached sequence can back any number of concurrent requests.
-func (w *World) Prepare(tr geo.Trajectory, m *core.Model) (*core.Sequence, bool) {
-	key := prepKey(tr, m)
+func (w *World) Prepare(tr geo.Trajectory, g core.Generator) (*core.Sequence, bool) {
+	cfg := g.ModelConfig()
+	key := prepKey(tr, cfg)
 	w.mu.Lock()
 	if seq, ok := w.cache[key]; ok {
 		w.mu.Unlock()
@@ -70,8 +71,8 @@ func (w *World) Prepare(tr geo.Trajectory, m *core.Model) (*core.Sequence, bool)
 	// race (worst case two requests prepare the same route and one result
 	// wins the cache slot).
 	run := dataset.Run{Scenario: "serve", Traj: tr, Meas: w.ds.World.Annotate(tr)}
-	seq := core.PrepareSequenceWith(run, m.Cfg.Channels, core.PrepareOptions{
-		MaxCells: m.Cfg.MaxCells, LoadAware: m.Cfg.LoadAware,
+	seq := core.PrepareSequenceWith(run, cfg.Channels, core.PrepareOptions{
+		MaxCells: cfg.MaxCells, LoadAware: cfg.LoadAware,
 	})
 
 	w.mu.Lock()
@@ -90,7 +91,7 @@ func (w *World) Prepare(tr geo.Trajectory, m *core.Model) (*core.Sequence, bool)
 // prepKey hashes the route and the model properties that shape a prepared
 // sequence (channel set, cell cap, load awareness). Two models trained with
 // the same channels and preparation options share cache entries.
-func prepKey(tr geo.Trajectory, m *core.Model) uint64 {
+func prepKey(tr geo.Trajectory, cfg core.Config) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
 	u64 := func(v uint64) {
@@ -100,12 +101,12 @@ func prepKey(tr geo.Trajectory, m *core.Model) uint64 {
 		h.Write(b[:])
 	}
 	f64 := func(v float64) { u64(math.Float64bits(v)) }
-	for _, ch := range m.Cfg.Channels {
+	for _, ch := range cfg.Channels {
 		h.Write([]byte(ch.Name))
 		h.Write([]byte{0})
 	}
-	u64(uint64(m.Cfg.MaxCells))
-	if m.Cfg.LoadAware {
+	u64(uint64(cfg.MaxCells))
+	if cfg.LoadAware {
 		u64(1)
 	} else {
 		u64(0)

@@ -18,8 +18,9 @@ const hwdBins = 40
 // gates the five distributional statistics against the golden tolerances.
 // All statistics are computed in normalized [0,1] units so one tolerance
 // scale covers channels with very different physical ranges.
-func distributionChecks(m *core.Model, seqs []*core.Sequence, opts Options, rep *Report) {
-	nch := len(m.Cfg.Channels)
+func distributionChecks(g core.Generator, seqs []*core.Sequence, opts Options, rep *Report) {
+	channels := g.ModelConfig().Channels
+	nch := len(channels)
 	genPool := make([][]float64, nch) // generated values pooled over routes×samples
 	gtPool := make([][]float64, nch)  // ground truth pooled over routes (once each)
 	acfErr := make([]float64, nch)    // per-channel |Δautocorr| sums
@@ -34,7 +35,7 @@ func distributionChecks(m *core.Model, seqs []*core.Sequence, opts Options, rep 
 			// The sample is a pure function of (model, route, seed): the same
 			// derived-seed scheme the serving layer fans out with.
 			seed := core.DeriveSeed(opts.Seed, ri*opts.SamplesPerRoute+s)
-			gen := m.Clone(seed).Generate(seq)
+			gen := g.GenerateSeeded(seq, seed)
 			genCols := columns(gen, nch)
 			for c := 0; c < nch; c++ {
 				genPool[c] = append(genPool[c], genCols[c]...)
@@ -54,7 +55,7 @@ func distributionChecks(m *core.Model, seqs []*core.Sequence, opts Options, rep 
 	}
 
 	for c := 0; c < nch; c++ {
-		name := m.Cfg.Channels[c].Name
+		name := channels[c].Name
 		obs := ChannelStats{Channel: name}
 		ks, err := metrics.KS(genPool[c], gtPool[c])
 		if err != nil {

@@ -31,47 +31,41 @@ const monotonicSamples = 3
 // metamorphicChecks runs the ground-truth-free invariants: seed
 // determinism across execution paths, permutation invariance, truncation
 // consistency, and physical monotonicity.
-func metamorphicChecks(m *core.Model, routes []dataset.Run, seqs []*core.Sequence, opts Options, rep *Report) {
-	checkSeedDeterminismSerial(m, seqs[0], opts, rep)
-	checkSeedDeterminismWorkers(m, seqs, opts, rep)
+func metamorphicChecks(g core.Generator, routes []dataset.Run, seqs []*core.Sequence, opts Options, rep *Report) {
+	checkSeedDeterminismSerial(g, seqs[0], opts, rep)
+	checkSeedDeterminismWorkers(g, seqs, opts, rep)
 	if opts.SkipHTTP {
 		rep.skip("meta/seed-determinism-http", "disabled (SkipHTTP)")
 	} else {
-		checkSeedDeterminismHTTP(m, routes[0].Traj, opts, rep)
+		checkSeedDeterminismHTTP(g, routes[0].Traj, opts, rep)
 	}
-	checkPermutationInvariance(m, seqs, opts, rep)
-	checkTruncationConsistency(m, seqs[0], opts, rep)
-	checkMonotonicRSRPDistance(m, routes[0].Traj, opts, rep)
-	checkMonotonicSINRLoad(m, seqs[0], opts, rep)
+	checkPermutationInvariance(g, seqs, opts, rep)
+	checkTruncationConsistency(g, seqs[0], opts, rep)
+	checkMonotonicRSRPDistance(g, routes[0].Traj, opts, rep)
+	checkMonotonicSINRLoad(g, seqs[0], opts, rep)
 }
 
-// checkSeedDeterminismSerial: two independently seeded clones of the same
-// model must produce bit-identical series for the same (sequence, seed).
-func checkSeedDeterminismSerial(m *core.Model, seq *core.Sequence, opts Options, rep *Report) {
-	a := m.Clone(opts.Seed).Generate(seq)
-	b := m.Clone(opts.Seed).Generate(seq)
+// checkSeedDeterminismSerial: two independent generations from the same
+// backend must produce bit-identical series for the same (sequence, seed).
+func checkSeedDeterminismSerial(g core.Generator, seq *core.Sequence, opts Options, rep *Report) {
+	a := g.GenerateSeeded(seq, opts.Seed)
+	b := g.GenerateSeeded(seq, opts.Seed)
 	ok, detail := seriesEqual(a, b)
 	rep.add(CheckResult{Name: "meta/seed-determinism-serial", Passed: ok, Detail: detail})
 }
 
 // checkSeedDeterminismWorkers: GenerateJobs must be bit-identical across
-// Workers=1, Workers=N, and the direct clone-per-job path. This is the
-// contract the serving layer's reproducibility guarantee stands on.
-func checkSeedDeterminismWorkers(m *core.Model, seqs []*core.Sequence, opts Options, rep *Report) {
+// Workers=1, Workers=N, and the direct per-job path. This is the contract
+// the serving layer's reproducibility guarantee stands on.
+func checkSeedDeterminismWorkers(g core.Generator, seqs []*core.Sequence, opts Options, rep *Report) {
 	jobs := make([]core.GenJob, len(seqs))
 	for i, seq := range seqs {
 		jobs[i] = core.GenJob{Seq: seq, Seed: core.DeriveSeed(opts.Seed, i)}
 	}
-	// Shallow model copies are safe here: GenerateJobs only reads the
-	// parameters (via Clone) and Cfg, never the receiver's scratch state.
-	serial, parallel := *m, *m
-	serial.Cfg.Workers = 1
-	parallel.Cfg.Workers = opts.Workers
-	outSerial := serial.GenerateJobs(jobs)
-	outParallel := parallel.GenerateJobs(jobs)
+	outSerial := g.WithWorkers(1).GenerateJobs(jobs)
+	outParallel := g.WithWorkers(opts.Workers).GenerateJobs(jobs)
 	for i, job := range jobs {
-		rep2 := m.Clone(job.Seed)
-		direct := rep2.DenormalizeSeries(rep2.Generate(job.Seq))
+		direct := g.DenormalizeSeries(g.GenerateSeeded(job.Seq, job.Seed))
 		if ok, detail := seriesEqual(outSerial[i], direct); !ok {
 			rep.add(CheckResult{
 				Name: "meta/seed-determinism-workers", Passed: false,
@@ -98,13 +92,13 @@ func checkSeedDeterminismWorkers(m *core.Model, seqs []*core.Sequence, opts Opti
 // bit-identical to calling GenerateJobs directly with the same derived
 // seeds. Go's encoding/json emits float64s in shortest round-trip form, so
 // the comparison is exact, not approximate.
-func checkSeedDeterminismHTTP(m *core.Model, tr geo.Trajectory, opts Options, rep *Report) {
+func checkSeedDeterminismHTTP(g core.Generator, tr geo.Trajectory, opts Options, rep *Report) {
 	fail := func(detail string) {
 		rep.add(CheckResult{Name: "meta/seed-determinism-http", Passed: false, Detail: detail})
 	}
 	world := serve.NewWorldFrom(opts.Dataset)
 	srv := serve.New(serve.Options{
-		Registry: serve.NewStaticRegistry("validate", m),
+		Registry: serve.NewStaticRegistry("validate", g),
 		World:    world,
 	})
 	ts := httptest.NewServer(srv.Handler())
@@ -138,8 +132,8 @@ func checkSeedDeterminismHTTP(m *core.Model, tr geo.Trajectory, opts Options, re
 
 	// Reference: the same route prepared through the same world, generated
 	// directly with the request's derived seeds.
-	seq, _ := world.Prepare(tr, m)
-	expect := m.GenerateJobs([]core.GenJob{
+	seq, _ := world.Prepare(tr, g)
+	expect := g.GenerateJobs([]core.GenJob{
 		{Seq: seq, Seed: core.DeriveSeed(opts.Seed, 0)},
 		{Seq: seq, Seed: core.DeriveSeed(opts.Seed, 1)},
 	})
@@ -169,7 +163,7 @@ func checkSeedDeterminismHTTP(m *core.Model, tr geo.Trajectory, opts Options, re
 // checkPermutationInvariance: each job's output must not depend on where
 // it sits in the batch — reversing the job list must reverse the outputs
 // bit-identically.
-func checkPermutationInvariance(m *core.Model, seqs []*core.Sequence, opts Options, rep *Report) {
+func checkPermutationInvariance(g core.Generator, seqs []*core.Sequence, opts Options, rep *Report) {
 	jobs := make([]core.GenJob, len(seqs))
 	for i, seq := range seqs {
 		jobs[i] = core.GenJob{Seq: seq, Seed: core.DeriveSeed(opts.Seed, i)}
@@ -178,10 +172,9 @@ func checkPermutationInvariance(m *core.Model, seqs []*core.Sequence, opts Optio
 	for i := range jobs {
 		rev[i] = jobs[len(jobs)-1-i]
 	}
-	mm := *m
-	mm.Cfg.Workers = opts.Workers
-	fwd := mm.GenerateJobs(jobs)
-	bwd := mm.GenerateJobs(rev)
+	gg := g.WithWorkers(opts.Workers)
+	fwd := gg.GenerateJobs(jobs)
+	bwd := gg.GenerateJobs(rev)
 	for i := range jobs {
 		if ok, detail := seriesEqual(fwd[i], bwd[len(jobs)-1-i]); !ok {
 			rep.add(CheckResult{
@@ -202,8 +195,8 @@ func checkPermutationInvariance(m *core.Model, seqs []*core.Sequence, opts Optio
 // falls on a batch boundary (generation runs in non-overlapping batches of
 // BatchLen; within a batch the RNG draws depend on the batch's own cell
 // visibility, so a mid-batch cut is allowed to differ).
-func checkTruncationConsistency(m *core.Model, seq *core.Sequence, opts Options, rep *Report) {
-	L := m.Cfg.BatchLen
+func checkTruncationConsistency(g core.Generator, seq *core.Sequence, opts Options, rep *Report) {
+	L := g.ModelConfig().BatchLen
 	P := (seq.Len() / 2 / L) * L
 	if P == 0 && seq.Len() > L {
 		P = L
@@ -216,8 +209,8 @@ func checkTruncationConsistency(m *core.Model, seq *core.Sequence, opts Options,
 		KPIs: seq.KPIs[:P], Cells: seq.Cells[:P], Env: seq.Env[:P],
 		Raw: seq.Raw[:P], Interval: seq.Interval,
 	}
-	full := m.Clone(opts.Seed).Generate(seq)
-	part := m.Clone(opts.Seed).Generate(prefix)
+	full := g.GenerateSeeded(seq, opts.Seed)
+	part := g.GenerateSeeded(prefix, opts.Seed)
 	ok, detail := seriesEqual(full[:P], part)
 	if ok {
 		detail = fmt.Sprintf("prefix %d of %d steps", P, seq.Len())
@@ -230,9 +223,9 @@ func checkTruncationConsistency(m *core.Model, seq *core.Sequence, opts Options,
 // routes circle a real cell of the dataset's deployment at ~150 m and
 // ~1500 m, annotated by the resident world, so the model sees genuine
 // context — only the distance differs.
-func checkMonotonicRSRPDistance(m *core.Model, tr geo.Trajectory, opts Options, rep *Report) {
+func checkMonotonicRSRPDistance(g core.Generator, tr geo.Trajectory, opts Options, rep *Report) {
 	const name = "meta/monotonic-rsrp-distance"
-	ci := channelIndex(m, "RSRP")
+	ci := channelIndex(g, "RSRP")
 	if ci < 0 {
 		rep.skip(name, "model has no RSRP channel")
 		return
@@ -244,8 +237,8 @@ func checkMonotonicRSRPDistance(m *core.Model, tr geo.Trajectory, opts Options, 
 		return
 	}
 	site := vis[0].Cell.Site
-	near := meanChannelOnCircle(m, opts, site, 150, ci)
-	far := meanChannelOnCircle(m, opts, site, 1500, ci)
+	near := meanChannelOnCircle(g, opts, site, 150, ci)
+	far := meanChannelOnCircle(g, opts, site, 1500, ci)
 	rep.add(CheckResult{
 		Name: name, Passed: far-near <= monotonicSlack,
 		Observed: far - near, Limit: monotonicSlack,
@@ -256,20 +249,21 @@ func checkMonotonicRSRPDistance(m *core.Model, tr geo.Trajectory, opts Options, 
 // meanChannelOnCircle generates monotonicSamples samples on a 40-step
 // circle of the given radius around site and returns the mean normalized
 // value of channel ci.
-func meanChannelOnCircle(m *core.Model, opts Options, site geo.Point, radius float64, ci int) float64 {
+func meanChannelOnCircle(g core.Generator, opts Options, site geo.Point, radius float64, ci int) float64 {
 	const steps = 40
 	tr := make(geo.Trajectory, steps)
 	for i := 0; i < steps; i++ {
 		p := geo.Offset(site, float64(i)*360/steps, radius)
 		tr[i] = geo.Sample{Point: p, T: float64(i)}
 	}
+	cfg := g.ModelConfig()
 	run := dataset.Run{Scenario: "validate-probe", Traj: tr, Meas: opts.Dataset.World.Annotate(tr)}
-	seq := core.PrepareSequenceWith(run, m.Cfg.Channels, core.PrepareOptions{
-		MaxCells: m.Cfg.MaxCells, LoadAware: m.Cfg.LoadAware,
+	seq := core.PrepareSequenceWith(run, cfg.Channels, core.PrepareOptions{
+		MaxCells: cfg.MaxCells, LoadAware: cfg.LoadAware,
 	})
 	var vals []float64
 	for s := 0; s < monotonicSamples; s++ {
-		gen := m.Clone(core.DeriveSeed(opts.Seed, 1000+s)).Generate(seq)
+		gen := g.GenerateSeeded(seq, core.DeriveSeed(opts.Seed, 1000+s))
 		for t := range gen {
 			vals = append(vals, gen[t][ci])
 		}
@@ -280,14 +274,14 @@ func meanChannelOnCircle(m *core.Model, opts Options, site geo.Point, radius flo
 // checkMonotonicSINRLoad: raising every visible cell's load must not raise
 // the generated SINR. Only meaningful for load-aware models (others never
 // see the load attribute).
-func checkMonotonicSINRLoad(m *core.Model, seq *core.Sequence, opts Options, rep *Report) {
+func checkMonotonicSINRLoad(g core.Generator, seq *core.Sequence, opts Options, rep *Report) {
 	const name = "meta/monotonic-sinr-load"
-	ci := channelIndex(m, "SINR")
+	ci := channelIndex(g, "SINR")
 	if ci < 0 {
 		rep.skip(name, "model has no SINR channel")
 		return
 	}
-	if !m.Cfg.LoadAware {
+	if !g.ModelConfig().LoadAware {
 		rep.skip(name, "model is not load-aware")
 		return
 	}
@@ -295,7 +289,7 @@ func checkMonotonicSINRLoad(m *core.Model, seq *core.Sequence, opts Options, rep
 		loaded := seqWithLoad(seq, load)
 		var vals []float64
 		for s := 0; s < monotonicSamples; s++ {
-			gen := m.Clone(core.DeriveSeed(opts.Seed, 2000+s)).Generate(loaded)
+			gen := g.GenerateSeeded(loaded, core.DeriveSeed(opts.Seed, 2000+s))
 			for t := range gen {
 				vals = append(vals, gen[t][ci])
 			}
@@ -334,8 +328,8 @@ func seqWithLoad(seq *core.Sequence, load float64) *core.Sequence {
 }
 
 // channelIndex finds a channel by name, -1 if absent.
-func channelIndex(m *core.Model, name string) int {
-	for i, ch := range m.Cfg.Channels {
+func channelIndex(g core.Generator, name string) int {
+	for i, ch := range g.ModelConfig().Channels {
 		if ch.Name == name {
 			return i
 		}

@@ -53,6 +53,14 @@ type Options struct {
 	// a loopback server).
 	SkipHTTP bool
 
+	// Precision selects the backend under validation: f64 (default) runs
+	// the live model, f32/int8 freeze it into the corresponding inference
+	// backend first, so the statistical gate certifies exactly what the
+	// serving layer would run. Determinism checks are per-precision — a
+	// frozen backend must be bit-exact against itself across execution
+	// paths, not against the float64 model.
+	Precision core.Precision
+
 	// Golden holds the distributional tolerances. Nil runs the
 	// distributional pass observe-only (checks report as skipped), which is
 	// how -update-golden bootstraps a tolerance file.
@@ -165,21 +173,32 @@ func (r *Report) skip(name, why string) {
 	r.add(CheckResult{Name: name, Skipped: true, Detail: why})
 }
 
-// Run executes the full validation suite against the model. The returned
-// error covers only setup problems (nil dataset, no held-out routes);
-// everything else — including HTTP-path trouble — is reported through the
-// Report's checks so a single run always yields a full picture.
+// Run executes the full validation suite against the model — frozen first
+// to Options.Precision when it is not f64. The returned error covers only
+// setup problems (nil dataset, no held-out routes, a precision the model
+// cannot freeze to); everything else — including HTTP-path trouble — is
+// reported through the Report's checks so a single run always yields a
+// full picture.
 func Run(m *core.Model, opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	if opts.Dataset == nil {
 		return nil, fmt.Errorf("validate: Options.Dataset is required")
 	}
+	var g core.Generator = m
+	if opts.Precision != "" && opts.Precision != core.PrecisionF64 {
+		im, err := m.Freeze(opts.Precision)
+		if err != nil {
+			return nil, fmt.Errorf("validate: %w", err)
+		}
+		g = im
+	}
+	cfg := g.ModelConfig()
 	rep := &Report{Dataset: opts.Dataset.Name}
-	for _, ch := range m.Cfg.Channels {
+	for _, ch := range cfg.Channels {
 		rep.Channels = append(rep.Channels, ch.Name)
 	}
 
-	routes, seqs, err := heldOutSequences(m, opts)
+	routes, seqs, err := heldOutSequences(cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -195,14 +214,14 @@ func Run(m *core.Model, opts Options) (*Report, error) {
 	opts.Logf("validate: %d held-out routes (%d..%d samples), %d samples/route",
 		len(seqs), minLen, maxLen, opts.SamplesPerRoute)
 
-	distributionChecks(m, seqs, opts, rep)
-	metamorphicChecks(m, routes, seqs, opts, rep)
+	distributionChecks(g, seqs, opts, rep)
+	metamorphicChecks(g, routes, seqs, opts, rep)
 	return rep, nil
 }
 
 // heldOutSequences prepares up to opts.Routes test-split runs, truncated
 // to opts.MaxRouteLen samples each.
-func heldOutSequences(m *core.Model, opts Options) ([]dataset.Run, []*core.Sequence, error) {
+func heldOutSequences(cfg core.Config, opts Options) ([]dataset.Run, []*core.Sequence, error) {
 	runs := opts.Dataset.TestRuns()
 	if len(runs) == 0 {
 		return nil, nil, fmt.Errorf("validate: dataset %q has no held-out (test-split) runs", opts.Dataset.Name)
@@ -220,8 +239,8 @@ func heldOutSequences(m *core.Model, opts Options) ([]dataset.Run, []*core.Seque
 		if len(run.Meas) < 2 {
 			continue
 		}
-		seq := core.PrepareSequenceWith(run, m.Cfg.Channels, core.PrepareOptions{
-			MaxCells: m.Cfg.MaxCells, LoadAware: m.Cfg.LoadAware,
+		seq := core.PrepareSequenceWith(run, cfg.Channels, core.PrepareOptions{
+			MaxCells: cfg.MaxCells, LoadAware: cfg.LoadAware,
 		})
 		out = append(out, run)
 		seqs = append(seqs, seq)
