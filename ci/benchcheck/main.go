@@ -11,6 +11,9 @@
 //
 // With -update the baseline file is rewritten from the input instead of
 // checked (for refreshing after an intentional perf change).
+//
+// With -serve the input is a gendt-bench JSON report (single window or RPS
+// sweep) and the baseline is BENCH_serve.json; see serve.go.
 package main
 
 import (
@@ -130,6 +133,7 @@ func run() error {
 	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline file")
 	input := flag.String("input", "", "bench output file ('-' or empty reads stdin)")
 	update := flag.Bool("update", false, "rewrite the baseline from the input instead of checking")
+	serveMode := flag.Bool("serve", false, "input is a gendt-bench JSON report; baseline is BENCH_serve.json")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -140,6 +144,9 @@ func run() error {
 		}
 		defer f.Close()
 		in = f
+	}
+	if *serveMode {
+		return runServe(*baselinePath, in, *update)
 	}
 	got, err := ParseBench(in)
 	if err != nil {

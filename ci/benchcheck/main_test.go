@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -109,5 +111,164 @@ func TestCompareIgnoresExtraBenchmarks(t *testing.T) {
 	got["BenchmarkSomethingNew"] = Result{NsOp: 1, AllocsOp: 1e9}
 	if problems := Compare(baseline(), got); len(problems) != 0 {
 		t.Fatalf("extra benchmark gated: %v", problems)
+	}
+}
+
+const sampleServeSweep = `{
+  "reports": [
+    {"name": "smoke-rps10", "target": "http://127.0.0.1:8080", "offered_rps": 10,
+     "sent": 100, "measured": 80, "succeeded": 80, "errors": 0,
+     "achieved_rps": 10, "success_rate": 1, "error_rate": 0,
+     "status": {"200": 80},
+     "latency_ms": {"p50": 12, "p90": 20, "p99": 40, "p999": 55, "mean": 14, "max": 60, "count": 80}},
+    {"name": "smoke-rps20", "target": "http://127.0.0.1:8080", "offered_rps": 20,
+     "sent": 200, "measured": 160, "succeeded": 158, "errors": 2,
+     "achieved_rps": 19.8, "success_rate": 0.9875, "error_rate": 0.0125,
+     "status": {"200": 158, "503": 2},
+     "latency_ms": {"p50": 15, "p90": 30, "p99": 80, "p999": 120, "mean": 18, "max": 130, "count": 158}}
+  ],
+  "saturation": {"found": false, "max_good_rps": 20}
+}`
+
+func serveBaseline() ServeBaseline {
+	return ServeBaseline{
+		Mode:      "warn",
+		Tolerance: ServeTolerance{P99MsPct: 100, ErrorRateAbs: 0.02},
+		Entries: map[string]ServeEntry{
+			"smoke-rps10": {OfferedRPS: 10, P99Ms: 40, ErrorRate: 0},
+			"smoke-rps20": {OfferedRPS: 20, P99Ms: 80, ErrorRate: 0.0125},
+		},
+	}
+}
+
+func TestParseServeReportsSweep(t *testing.T) {
+	got, err := ParseServeReports(strings.NewReader(sampleServeSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d reports: %+v", len(got), got)
+	}
+	r := got["smoke-rps20"]
+	if r.LatencyMs.P99 != 80 || r.ErrorRate != 0.0125 {
+		t.Fatalf("smoke-rps20 = %+v", r)
+	}
+}
+
+func TestParseServeReportsSingle(t *testing.T) {
+	single := `{"name": "", "target": "http://x", "offered_rps": 15, "sent": 10,
+		"error_rate": 0, "latency_ms": {"p99": 33, "count": 10}}`
+	got, err := ParseServeReports(strings.NewReader(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := got["rps15"]
+	if !ok || r.LatencyMs.P99 != 33 {
+		t.Fatalf("unnamed single report not keyed by rate: %+v", got)
+	}
+}
+
+func TestParseServeReportsRejectsEmpty(t *testing.T) {
+	if _, err := ParseServeReports(strings.NewReader(`{}`)); err == nil {
+		t.Fatal("empty document accepted")
+	}
+	if _, err := ParseServeReports(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed document accepted")
+	}
+}
+
+func TestCompareServeClean(t *testing.T) {
+	got, _ := ParseServeReports(strings.NewReader(sampleServeSweep))
+	if problems := CompareServe(serveBaseline(), got); len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+func TestCompareServeP99Regression(t *testing.T) {
+	base := serveBaseline()
+	base.Entries["smoke-rps10"] = ServeEntry{OfferedRPS: 10, P99Ms: 15, ErrorRate: 0}
+	got, _ := ParseServeReports(strings.NewReader(sampleServeSweep))
+	problems := CompareServe(base, got) // measured p99 40 vs baseline 15: +167% > 100%
+	if len(problems) != 1 || !strings.Contains(problems[0], "p99 regressed") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCompareServeErrorRateAbsolute(t *testing.T) {
+	base := serveBaseline()
+	base.Entries["smoke-rps20"] = ServeEntry{OfferedRPS: 20, P99Ms: 80, ErrorRate: 0}
+	base.Tolerance.ErrorRateAbs = 0.01
+	got, _ := ParseServeReports(strings.NewReader(sampleServeSweep))
+	problems := CompareServe(base, got) // 0.0125 - 0 > 0.01 absolute
+	if len(problems) != 1 || !strings.Contains(problems[0], "error rate rose") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCompareServeMissingEntry(t *testing.T) {
+	base := serveBaseline()
+	base.Entries["smoke-rps40"] = ServeEntry{OfferedRPS: 40, P99Ms: 100}
+	got, _ := ParseServeReports(strings.NewReader(sampleServeSweep))
+	problems := CompareServe(base, got)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestRunServeWarnModeDoesNotFail(t *testing.T) {
+	dir := t.TempDir()
+	base := serveBaseline()
+	base.Entries["smoke-rps10"] = ServeEntry{OfferedRPS: 10, P99Ms: 1, ErrorRate: 0} // guaranteed regression
+	writeServeBaseline(t, dir+"/BENCH_serve.json", base)
+	if err := runServe(dir+"/BENCH_serve.json", strings.NewReader(sampleServeSweep), false); err != nil {
+		t.Fatalf("warn mode failed the check: %v", err)
+	}
+	base.Mode = "fail"
+	writeServeBaseline(t, dir+"/BENCH_serve.json", base)
+	if err := runServe(dir+"/BENCH_serve.json", strings.NewReader(sampleServeSweep), false); err == nil {
+		t.Fatal("fail mode let a regression through")
+	}
+	base.Mode = "someday"
+	writeServeBaseline(t, dir+"/BENCH_serve.json", base)
+	if err := runServe(dir+"/BENCH_serve.json", strings.NewReader(sampleServeSweep), false); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestRunServeUpdateAdoptsEntries(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/BENCH_serve.json"
+	writeServeBaseline(t, path, ServeBaseline{Mode: "warn", Tolerance: ServeTolerance{P99MsPct: 100, ErrorRateAbs: 0.02}})
+	if err := runServe(path, strings.NewReader(sampleServeSweep), true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base ServeBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Entries) != 2 || base.Entries["smoke-rps10"].P99Ms != 40 {
+		t.Fatalf("update did not adopt measured entries: %+v", base.Entries)
+	}
+	if base.Mode != "warn" || base.Tolerance.P99MsPct != 100 {
+		t.Fatalf("update clobbered mode/tolerance: %+v", base)
+	}
+	// Checking against the just-updated baseline must be clean.
+	if err := runServe(path, strings.NewReader(sampleServeSweep), false); err != nil {
+		t.Fatalf("self-check after update: %v", err)
+	}
+}
+
+func writeServeBaseline(t *testing.T, path string, base ServeBaseline) {
+	t.Helper()
+	buf, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
 	}
 }

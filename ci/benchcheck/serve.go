@@ -1,0 +1,174 @@
+// Serving-capacity mode: `benchcheck -serve` compares a gendt-bench JSON
+// report (single window or RPS sweep) against the committed
+// BENCH_serve.json baseline. Unlike the microbenchmark gate, serving tail
+// latency on shared CI runners is noisy, so the baseline carries a mode
+// field: "warn" prints regressions without failing the job, "fail" gates.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"gendt/internal/loadgen"
+)
+
+// ServeEntry is one baseline measurement, keyed by report name.
+type ServeEntry struct {
+	OfferedRPS float64 `json:"offered_rps"`
+	P99Ms      float64 `json:"p99_ms"`
+	ErrorRate  float64 `json:"error_rate"`
+}
+
+// ServeTolerance bounds acceptable drift: p99 latency may regress by a
+// percentage, error rate by an absolute delta (percentages are meaningless
+// against a zero-error baseline).
+type ServeTolerance struct {
+	P99MsPct     float64 `json:"p99_ms_pct"`
+	ErrorRateAbs float64 `json:"error_rate_abs"`
+}
+
+// ServeBaseline is the BENCH_serve.json file format.
+type ServeBaseline struct {
+	Description string                `json:"description"`
+	Mode        string                `json:"mode"` // "warn" or "fail"
+	Tolerance   ServeTolerance        `json:"tolerance"`
+	Entries     map[string]ServeEntry `json:"entries"`
+}
+
+// ParseServeReports reads a gendt-bench JSON document — either a single
+// replay report or a sweep — and returns the reports keyed by name.
+func ParseServeReports(r io.Reader) (map[string]loadgen.Report, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var sweep loadgen.SweepReport
+	if err := json.Unmarshal(raw, &sweep); err != nil {
+		return nil, fmt.Errorf("benchcheck -serve: bad report JSON: %w", err)
+	}
+	reports := sweep.Reports
+	if len(reports) == 0 {
+		var single loadgen.Report
+		if err := json.Unmarshal(raw, &single); err != nil {
+			return nil, fmt.Errorf("benchcheck -serve: bad report JSON: %w", err)
+		}
+		if single.Sent == 0 && single.Target == "" {
+			return nil, fmt.Errorf("benchcheck -serve: input holds no reports")
+		}
+		reports = []loadgen.Report{single}
+	}
+	out := make(map[string]loadgen.Report, len(reports))
+	for _, rep := range reports {
+		name := rep.Name
+		if name == "" {
+			name = fmt.Sprintf("rps%g", rep.OfferedRPS)
+		}
+		out[name] = rep
+	}
+	return out, nil
+}
+
+// CompareServe checks every baseline entry against the measured reports.
+// Measured reports absent from the baseline are ignored (adopted via
+// -update, not silently gated), mirroring the microbenchmark gate.
+func CompareServe(base ServeBaseline, got map[string]loadgen.Report) []string {
+	var problems []string
+	names := make([]string, 0, len(base.Entries))
+	for name := range base.Entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Entries[name]
+		g, ok := got[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: missing from bench report", name))
+			continue
+		}
+		if b.P99Ms > 0 {
+			pctUp := 100 * (g.LatencyMs.P99 - b.P99Ms) / b.P99Ms
+			if pctUp > base.Tolerance.P99MsPct {
+				problems = append(problems, fmt.Sprintf(
+					"%s: p99 regressed %.1f%% (baseline %.1fms, got %.1fms)",
+					name, pctUp, b.P99Ms, g.LatencyMs.P99))
+			}
+		}
+		if delta := g.ErrorRate - b.ErrorRate; delta > base.Tolerance.ErrorRateAbs {
+			problems = append(problems, fmt.Sprintf(
+				"%s: error rate rose %.4f (baseline %.4f, got %.4f)",
+				name, delta, b.ErrorRate, g.ErrorRate))
+		}
+	}
+	return problems
+}
+
+// runServe is the -serve entry point: compare (or -update) BENCH_serve.json
+// against a gendt-bench report.
+func runServe(baselinePath string, in io.Reader, update bool) error {
+	got, err := ParseServeReports(in)
+	if err != nil {
+		return err
+	}
+
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base ServeBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("benchcheck -serve: %s: %w", baselinePath, err)
+	}
+	if base.Mode != "warn" && base.Mode != "fail" {
+		return fmt.Errorf("benchcheck -serve: %s: mode %q is neither warn nor fail", baselinePath, base.Mode)
+	}
+
+	if update {
+		if base.Entries == nil {
+			base.Entries = make(map[string]ServeEntry)
+		}
+		for name, g := range got {
+			base.Entries[name] = ServeEntry{
+				OfferedRPS: g.OfferedRPS,
+				P99Ms:      g.LatencyMs.P99,
+				ErrorRate:  g.ErrorRate,
+			}
+		}
+		buf, err := json.MarshalIndent(base, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(baselinePath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchcheck: updated %s (%d entries)\n", baselinePath, len(base.Entries))
+		return nil
+	}
+
+	fmt.Printf("benchcheck -serve: %d measured, %d gated (mode %s; tolerance p99 +%.0f%%, error rate +%.3f)\n",
+		len(got), len(base.Entries), base.Mode, base.Tolerance.P99MsPct, base.Tolerance.ErrorRateAbs)
+	for name, b := range base.Entries {
+		if g, ok := got[name]; ok {
+			fmt.Printf("  %-28s p99 %8.1fms -> %8.1fms   err %.4f -> %.4f   achieved %.1f/%.1f rps\n",
+				name, b.P99Ms, g.LatencyMs.P99, b.ErrorRate, g.ErrorRate, g.AchievedRPS, g.OfferedRPS)
+		}
+	}
+	problems := CompareServe(base, got)
+	if len(problems) == 0 {
+		fmt.Println("benchcheck: OK")
+		return nil
+	}
+	if base.Mode == "warn" {
+		for _, p := range problems {
+			fmt.Println("WARN:", p)
+		}
+		fmt.Printf("benchcheck: %d serving regression(s), warn-only mode — not failing\n", len(problems))
+		return nil
+	}
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "FAIL:", p)
+	}
+	return fmt.Errorf("benchcheck: %d serving regression(s)", len(problems))
+}

@@ -1,0 +1,122 @@
+// Command gendt-lb runs the horizontal front tier for a fleet of
+// gendt-serve replicas. Requests are consistent-hashed by (model, route) so
+// each replica's prepared-sequence cache stays hot; replicas are health
+// probed and ejected/readmitted; 503s and connect errors are retried
+// against ring successors; saturated fleets shed with an explicit
+// X-Gendt-Reason header.
+//
+// Endpoints:
+//
+//	POST /v1/generate   consistent-hash routed to a replica (+retry/shed)
+//	GET  /v1/models     forwarded to the first healthy replica
+//	GET  /healthz       front-tier + per-replica health
+//	GET  /debug/vars    per-replica requests/retries/ejections/latency (JSON)
+//
+// SIGINT/SIGTERM flip /healthz to draining, then shut down gracefully.
+//
+// Usage:
+//
+//	gendt-lb -replica http://127.0.0.1:8081 -replica http://127.0.0.1:8082
+//	         [-addr :8080] [-vnodes 128] [-retries 2] [-max-inflight 64]
+//	         [-timeout 60s] [-max-body 8388608]
+//	         [-probe-interval 500ms] [-probe-timeout 2s]
+//	         [-eject-after 2] [-readmit-after 2]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gendt/internal/lb"
+)
+
+// replicaFlags collects repeated -replica flags.
+type replicaFlags []string
+
+func (f *replicaFlags) String() string { return strings.Join(*f, ",") }
+
+func (f *replicaFlags) Set(v string) error {
+	v = strings.TrimRight(v, "/")
+	if v == "" {
+		return fmt.Errorf("empty replica URL")
+	}
+	if !strings.HasPrefix(v, "http://") && !strings.HasPrefix(v, "https://") {
+		return fmt.Errorf("replica %q: want an http(s) base URL", v)
+	}
+	*f = append(*f, v)
+	return nil
+}
+
+func main() {
+	var replicas replicaFlags
+	flag.Var(&replicas, "replica", "gendt-serve base URL (repeatable, required)")
+	addr := flag.String("addr", ":8080", "listen address")
+	vnodes := flag.Int("vnodes", lb.DefaultVNodes, "virtual nodes per replica on the hash ring")
+	retries := flag.Int("retries", lb.DefaultRetries, "extra attempts against ring successors on 503/connect error")
+	maxInFlight := flag.Int("max-inflight", lb.DefaultMaxInFlight, "per-replica in-flight cap before shedding")
+	timeout := flag.Duration("timeout", lb.DefaultLBTimeout, "per-attempt forwarding timeout")
+	maxBody := flag.Int64("max-body", 0, "max buffered request body bytes (0 = serve default)")
+	probeInterval := flag.Duration("probe-interval", lb.DefaultProbeInterval, "health probe period per replica")
+	probeTimeout := flag.Duration("probe-timeout", lb.DefaultProbeTimeout, "health probe timeout")
+	ejectAfter := flag.Int("eject-after", lb.DefaultFailAfter, "consecutive probe/connect failures before ejection")
+	readmitAfter := flag.Int("readmit-after", lb.DefaultOKAfter, "consecutive probe successes before readmission")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gendt-lb: ", log.LstdFlags)
+	if len(replicas) == 0 {
+		logger.Fatal("at least one -replica is required")
+	}
+
+	balancer, err := lb.New(lb.Options{
+		Replicas:      replicas,
+		VNodes:        *vnodes,
+		Retries:       *retries,
+		MaxInFlight:   *maxInFlight,
+		Timeout:       *timeout,
+		MaxBody:       *maxBody,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		FailAfter:     *ejectAfter,
+		OKAfter:       *readmitAfter,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	balancer.Start()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           balancer.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		logger.Print("shutting down: draining")
+		balancer.StartDrain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			logger.Printf("shutdown: %v", err)
+		}
+	}()
+
+	logger.Printf("balancing %d replica(s) on %s (vnodes %d, retries %d, max in-flight %d/replica)",
+		len(replicas), *addr, *vnodes, *retries, *maxInFlight)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatal(err)
+	}
+	balancer.Close()
+	logger.Print("bye")
+}

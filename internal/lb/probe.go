@@ -1,0 +1,150 @@
+package lb
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gendt/internal/serve"
+)
+
+// Probe defaults. The intervals are deliberately short: a front tier that
+// takes seconds to notice a dead replica converts every one of those
+// seconds into client-visible retries.
+const (
+	DefaultProbeInterval = 500 * time.Millisecond
+	DefaultProbeTimeout  = 2 * time.Second
+	DefaultFailAfter     = 2 // consecutive failures before ejection
+	DefaultOKAfter       = 2 // consecutive successes before readmission
+)
+
+// replica is the balancer's per-backend state: health (probe-driven
+// ejection/readmission), Retry-After backoff, the in-flight gauge the shed
+// cap reads, and metrics. All fields are atomics or guarded by mu, so
+// routing reads race-free against concurrent probe updates.
+type replica struct {
+	name string // base URL, e.g. http://127.0.0.1:8081
+
+	healthy     atomic.Bool
+	inFlight    atomic.Int64
+	availableAt atomic.Int64 // unixnano; Retry-After backoff gate
+
+	mu         sync.Mutex // guards the consecutive-outcome counters
+	consecFail int
+	consecOK   int
+
+	requests    atomic.Int64
+	errors      atomic.Int64 // 5xx relayed from this replica
+	retries     atomic.Int64 // attempts against this replica that forced a retry
+	sheds       atomic.Int64 // times this replica was skipped at its in-flight cap
+	ejections   atomic.Int64
+	readmits    atomic.Int64
+	probeFails  atomic.Int64
+	latency     serve.Histogram
+	lastProbeMs atomic.Int64
+}
+
+// routable reports whether the replica should receive traffic now: healthy
+// per the prober and past any Retry-After backoff window.
+func (r *replica) routable(now time.Time) bool {
+	return r.healthy.Load() && now.UnixNano() >= r.availableAt.Load()
+}
+
+// backoff takes the replica out of routing for d without ejecting it —
+// the honoring of an upstream Retry-After hint.
+func (r *replica) backoff(now time.Time, d time.Duration) {
+	r.availableAt.Store(now.Add(d).UnixNano())
+}
+
+// noteOK records one probe (or forward) success; okAfter consecutive
+// successes readmit an ejected replica.
+func (r *replica) noteOK(okAfter int) {
+	r.mu.Lock()
+	r.consecFail = 0
+	r.consecOK++
+	readmit := !r.healthy.Load() && r.consecOK >= okAfter
+	if readmit {
+		r.healthy.Store(true)
+		r.readmits.Add(1)
+	}
+	r.mu.Unlock()
+}
+
+// noteFail records one probe or connect failure; failAfter consecutive
+// failures eject the replica. Forward-path connect errors feed this too, so
+// a SIGKILLed replica is ejected within failAfter requests even between
+// probe ticks.
+func (r *replica) noteFail(failAfter int) {
+	r.probeFails.Add(1)
+	r.mu.Lock()
+	r.consecOK = 0
+	r.consecFail++
+	eject := r.healthy.Load() && r.consecFail >= failAfter
+	if eject {
+		r.healthy.Store(false)
+		r.ejections.Add(1)
+	}
+	r.mu.Unlock()
+}
+
+// probeLoop polls the replica's /healthz until ctx is cancelled. A 200
+// counts as success; any other status (a draining replica 503s the probe)
+// or transport error counts as failure.
+func (lb *LB) probeLoop(ctx context.Context, r *replica) {
+	t := time.NewTicker(lb.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		lb.probeOnce(ctx, r)
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeOnce issues one health probe and feeds the ejection state machine.
+func (lb *LB) probeOnce(ctx context.Context, r *replica) {
+	pctx, cancel := context.WithTimeout(ctx, lb.opt.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, r.name+serve.EndpointHealth, nil)
+	if err != nil {
+		r.noteFail(lb.opt.FailAfter)
+		return
+	}
+	start := time.Now()
+	resp, err := lb.probeClient.Do(req)
+	r.lastProbeMs.Store(int64(time.Since(start) / time.Millisecond))
+	if err != nil {
+		r.noteFail(lb.opt.FailAfter)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		r.noteOK(lb.opt.OKAfter)
+		return
+	}
+	// A draining replica advertises when to re-probe; honor it as backoff
+	// on top of the ejection bookkeeping.
+	if ra := retryAfter(resp.Header); ra > 0 {
+		r.backoff(time.Now(), ra)
+	}
+	r.noteFail(lb.opt.FailAfter)
+}
+
+// retryAfter parses a Retry-After header as delay seconds (the only form
+// gendt-serve emits); 0 means absent or unparseable.
+func retryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,158 @@
+// Package lb implements gendt-lb: the horizontal front tier that spreads
+// /v1/generate traffic across a fleet of gendt-serve replicas. Requests are
+// consistent-hashed by (model, route) so every distinct route lands on the
+// same shard run after run — which is what keeps each replica's FNV-keyed
+// prepared-sequence cache hot — while replica loss only remaps the keys the
+// lost replica owned. The balancer actively probes /healthz, ejects and
+// readmits replicas, retries 503s and connect errors against ring
+// successors, and sheds with an explicit reason when every shard is
+// saturated.
+package lb
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+
+	"gendt/internal/serve"
+)
+
+// DefaultVNodes is the virtual-node count per replica. 128 points per
+// replica keeps the ownership imbalance of a small fleet within a few
+// percent while the ring stays tiny (N*128 points, binary-searched).
+const DefaultVNodes = 128
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// replica.
+type ringPoint struct {
+	hash    uint64
+	replica int // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over replica names. Lookup maps
+// a key to the replica owning the first point clockwise of it; Sequence
+// extends that to the distinct successor replicas, which is the retry and
+// failover order. Because each replica contributes its own independent
+// points, removing one replica only removes its points: every key it did
+// not own keeps its owner, so membership changes move the minimal key set.
+type Ring struct {
+	members []string
+	points  []ringPoint
+}
+
+// NewRing builds a ring over the given replica names with vnodes virtual
+// nodes each (vnodes <= 0 takes DefaultVNodes). Construction is
+// deterministic in the member set: the same names produce the same ring
+// regardless of input order.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	r := &Ring{members: sorted, points: make([]ringPoint, 0, len(sorted)*vnodes)}
+	for i, name := range sorted {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		h.Write([]byte{'#'})
+		base := h.Sum64()
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(base, uint64(v)), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// pointHash mixes a replica's base hash with a vnode index (splitmix64
+// finalizer) so each virtual node lands independently on the circle.
+func pointHash(base, v uint64) uint64 {
+	z := base + v*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Members returns the replica names on the ring, sorted.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Lookup returns the replica owning key, or "" on an empty ring.
+func (r *Ring) Lookup(key uint64) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.at(key)].replica]
+}
+
+// at finds the index of the first ring point clockwise of key (wrapping).
+func (r *Ring) at(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Sequence returns up to n distinct replicas in ring order starting at the
+// key's owner. Index 0 is the primary; the rest are the failover order a
+// retry should walk, so retried keys concentrate on the primary's
+// successors instead of reshuffling the whole fleet.
+func (r *Ring) Sequence(key uint64, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i, walked := r.at(key), 0; walked < len(r.points) && len(out) < n; walked++ {
+		p := r.points[i]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, r.members[p.replica])
+		}
+		i++
+		if i == len(r.points) {
+			i = 0
+		}
+	}
+	return out
+}
+
+// RouteKey hashes the request coordinates that determine a prepared
+// sequence — the model name and the route geometry — into a ring key. It
+// deliberately ignores seed and sample count: those vary per request
+// without changing which replica's prep cache holds the route. The float
+// hashing matches serve's prepared-sequence cache key construction
+// (bit-pattern of each coordinate), so equal routes collide exactly and
+// nearly-equal routes do not.
+func RouteKey(model string, route []serve.RoutePoint, routeCSV string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	var b [8]byte
+	u64 := func(v uint64) {
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	for _, p := range route {
+		u64(math.Float64bits(p.T))
+		u64(math.Float64bits(p.Lat))
+		u64(math.Float64bits(p.Lon))
+	}
+	if routeCSV != "" {
+		h.Write([]byte{1})
+		h.Write([]byte(routeCSV))
+	}
+	return h.Sum64()
+}
+
+// String renders ring size for debug output.
+func (r *Ring) String() string {
+	return "ring[" + strconv.Itoa(len(r.members)) + " replicas, " +
+		strconv.Itoa(len(r.points)) + " points]"
+}

@@ -1,0 +1,168 @@
+package lb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gendt/internal/serve"
+)
+
+func testMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return out
+}
+
+func testKeys(n int, seed int64) []uint64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+// Placement must be a pure function of the member set: input order and
+// reconstruction cannot change where any key lands.
+func TestRingDeterministicPlacement(t *testing.T) {
+	members := testMembers(5)
+	shuffled := append([]string(nil), members...)
+	rand.New(rand.NewSource(3)).Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	a := NewRing(members, 64)
+	b := NewRing(shuffled, 64)
+	for _, k := range testKeys(5000, 1) {
+		if ga, gb := a.Lookup(k), b.Lookup(k); ga != gb {
+			t.Fatalf("key %x: placement depends on input order: %q vs %q", k, ga, gb)
+		}
+	}
+}
+
+// Ownership must be roughly uniform: with 128 vnodes each of 5 replicas
+// should own near 1/5 of the key space.
+func TestRingBalance(t *testing.T) {
+	members := testMembers(5)
+	r := NewRing(members, DefaultVNodes)
+	counts := make(map[string]int)
+	keys := testKeys(20000, 2)
+	for _, k := range keys {
+		counts[r.Lookup(k)]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / float64(len(keys))
+		if frac < 0.10 || frac > 0.35 {
+			t.Errorf("replica %s owns %.1f%% of keys; want near 20%%", m, 100*frac)
+		}
+	}
+}
+
+// Removing a replica must move exactly the keys it owned: every other
+// key keeps its owner (the property that makes ejection cheap for the
+// prepared-sequence caches), and the moved fraction is near 1/N.
+func TestRingMinimalRedistributionOnRemove(t *testing.T) {
+	members := testMembers(6)
+	removed := members[2]
+	full := NewRing(members, DefaultVNodes)
+	reduced := NewRing(append(append([]string(nil), members[:2]...), members[3:]...), DefaultVNodes)
+
+	keys := testKeys(20000, 4)
+	moved, owned := 0, 0
+	for _, k := range keys {
+		before := full.Lookup(k)
+		after := reduced.Lookup(k)
+		if before == removed {
+			owned++
+			if after == removed {
+				t.Fatalf("key %x still maps to removed replica", k)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed replica changed owner; want 0", moved)
+	}
+	n := float64(len(members))
+	frac := float64(owned) / float64(len(keys))
+	if frac < 0.5/n || frac > 2.5/n {
+		t.Errorf("removed replica owned %.1f%% of keys; want near %.1f%%", 100*frac, 100/n)
+	}
+}
+
+// Adding a replica must only move keys onto the newcomer.
+func TestRingMinimalRedistributionOnAdd(t *testing.T) {
+	members := testMembers(5)
+	added := "http://10.0.0.99:8080"
+	before := NewRing(members, DefaultVNodes)
+	after := NewRing(append(append([]string(nil), members...), added), DefaultVNodes)
+
+	keys := testKeys(20000, 5)
+	gained := 0
+	for _, k := range keys {
+		a, b := before.Lookup(k), after.Lookup(k)
+		if a == b {
+			continue
+		}
+		if b != added {
+			t.Fatalf("key %x moved %q -> %q, not to the added replica", k, a, b)
+		}
+		gained++
+	}
+	n := float64(len(members) + 1)
+	frac := float64(gained) / float64(len(keys))
+	if frac < 0.5/n || frac > 2.5/n {
+		t.Errorf("added replica gained %.1f%% of keys; want near %.1f%%", 100*frac, 100/n)
+	}
+}
+
+func TestRingSequence(t *testing.T) {
+	members := testMembers(4)
+	r := NewRing(members, 32)
+	for _, k := range testKeys(200, 6) {
+		seq := r.Sequence(k, len(members))
+		if len(seq) != len(members) {
+			t.Fatalf("sequence has %d entries, want %d", len(seq), len(members))
+		}
+		if seq[0] != r.Lookup(k) {
+			t.Fatalf("sequence[0] %q != Lookup %q", seq[0], r.Lookup(k))
+		}
+		seen := make(map[string]bool)
+		for _, m := range seq {
+			if seen[m] {
+				t.Fatalf("duplicate member %q in sequence", m)
+			}
+			seen[m] = true
+		}
+	}
+	if got := r.Sequence(42, 2); len(got) != 2 {
+		t.Fatalf("bounded sequence length %d, want 2", len(got))
+	}
+	var empty Ring
+	if got := empty.Sequence(42, 3); got != nil {
+		t.Fatalf("empty ring sequence = %v, want nil", got)
+	}
+}
+
+func TestRouteKey(t *testing.T) {
+	route := []serve.RoutePoint{{T: 0, Lat: 48.2, Lon: 16.4}, {T: 1, Lat: 48.3, Lon: 16.5}}
+	k1 := RouteKey("m", route, "")
+	if k2 := RouteKey("m", route, ""); k2 != k1 {
+		t.Fatal("RouteKey not deterministic")
+	}
+	if RouteKey("other", route, "") == k1 {
+		t.Fatal("model name should affect the key")
+	}
+	shifted := []serve.RoutePoint{{T: 0, Lat: 48.2, Lon: 16.4}, {T: 1, Lat: 48.3, Lon: 16.5000001}}
+	if RouteKey("m", shifted, "") == k1 {
+		t.Fatal("route geometry should affect the key")
+	}
+	if RouteKey("m", nil, "0,48.2,16.4\n1,48.3,16.5\n") == RouteKey("m", nil, "0,48.2,16.4\n1,48.3,16.6\n") {
+		t.Fatal("route_csv should affect the key")
+	}
+}

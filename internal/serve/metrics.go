@@ -11,15 +11,17 @@ import (
 // logarithmic latency histogram; the final implicit bucket is +Inf.
 var latencyBucketsMs = [...]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000}
 
-// histogram is a fixed-bucket latency histogram with atomic counters; safe
-// for concurrent observation without locks.
-type histogram struct {
+// Histogram is a fixed-bucket latency histogram with atomic counters; safe
+// for concurrent observation without locks. The zero value is ready to use.
+// It is exported so sibling serving-tier packages (the gendt-lb front tier)
+// report latency in the same buckets and JSON shape as gendt-serve.
+type Histogram struct {
 	counts  [len(latencyBucketsMs) + 1]atomic.Int64
 	sumNs   atomic.Int64
 	observe atomic.Int64
 }
 
-func (h *histogram) Observe(d time.Duration) {
+func (h *Histogram) Observe(d time.Duration) {
 	ms := float64(d) / float64(time.Millisecond)
 	i := 0
 	for i < len(latencyBucketsMs) && ms > latencyBucketsMs[i] {
@@ -30,15 +32,16 @@ func (h *histogram) Observe(d time.Duration) {
 	h.observe.Add(1)
 }
 
-// histogramSnap is the JSON rendering of a histogram.
-type histogramSnap struct {
+// HistogramSnap is the JSON rendering of a Histogram.
+type HistogramSnap struct {
 	Count   int64            `json:"count"`
 	MeanMs  float64          `json:"mean_ms"`
 	Buckets map[string]int64 `json:"buckets_le_ms"`
 }
 
-func (h *histogram) snapshot() histogramSnap {
-	s := histogramSnap{Buckets: make(map[string]int64, len(latencyBucketsMs)+1)}
+// Snapshot renders the histogram's current counts.
+func (h *Histogram) Snapshot() HistogramSnap {
+	s := HistogramSnap{Buckets: make(map[string]int64, len(latencyBucketsMs)+1)}
 	s.Count = h.observe.Load()
 	if s.Count > 0 {
 		s.MeanMs = float64(h.sumNs.Load()) / float64(s.Count) / float64(time.Millisecond)
@@ -63,14 +66,14 @@ type endpointStats struct {
 	Requests atomic.Int64
 	Errors   atomic.Int64
 	InFlight atomic.Int64
-	Latency  histogram
+	Latency  Histogram
 }
 
 type endpointSnap struct {
 	Requests int64         `json:"requests"`
 	Errors   int64         `json:"errors"`
 	InFlight int64         `json:"in_flight"`
-	Latency  histogramSnap `json:"latency"`
+	Latency  HistogramSnap `json:"latency"`
 }
 
 // Metrics aggregates the server's observability state, exposed as JSON at
@@ -154,7 +157,7 @@ func (m *Metrics) Snapshot() varsSnap {
 			Requests: e.Requests.Load(),
 			Errors:   e.Errors.Load(),
 			InFlight: e.InFlight.Load(),
-			Latency:  e.Latency.snapshot(),
+			Latency:  e.Latency.Snapshot(),
 		}
 	}
 	s.Generate.Samples = m.GenerateSamples.Load()

@@ -499,6 +499,10 @@ func TestDrainingReturns503(t *testing.T) {
 	if got := resp.Header.Get("Retry-After"); got != strconv.Itoa(DrainRetryAfter) {
 		t.Errorf("Retry-After = %q, want %q", got, strconv.Itoa(DrainRetryAfter))
 	}
+	if got := resp.Header.Get(ReasonHeader); got != ReasonDraining {
+		t.Errorf("%s = %q, want %q (clients must distinguish draining from front-tier sheds)",
+			ReasonHeader, got, ReasonDraining)
+	}
 }
 
 // TestHealthzDraining checks a draining server fails its health probe with
@@ -516,6 +520,9 @@ func TestHealthzDraining(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("healthz while draining: missing Retry-After header")
+	}
+	if got := resp.Header.Get(ReasonHeader); got != ReasonDraining {
+		t.Errorf("healthz while draining: %s = %q, want %q", ReasonHeader, got, ReasonDraining)
 	}
 	var hr HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {

@@ -133,6 +133,20 @@ func (s *Server) Metrics() *Metrics { return s.met }
 // re-probe promptly.
 const DrainRetryAfter = 5
 
+// ReasonHeader distinguishes otherwise-identical 503s across the serving
+// tier: a replica refusing work because it is shutting down, the front tier
+// shedding because every shard is saturated, and the front tier relaying an
+// upstream failure are different conditions that clients (and the
+// gendt-bench error breakdown) must be able to tell apart.
+const ReasonHeader = "X-Gendt-Reason"
+
+// ReasonHeader values.
+const (
+	ReasonDraining = "draining" // replica is draining (shutdown/rollout)
+	ReasonShed     = "shed"     // front tier shed: per-replica in-flight caps full
+	ReasonUpstream = "upstream" // front tier exhausted retries against replicas
+)
+
 // StartDrain flips the server into draining mode: new /v1/generate
 // requests get an immediate 503 with a Retry-After hint (so load
 // balancers fail over instead of queueing behind a dying process) and
@@ -408,6 +422,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		resp.Status = "draining"
 		code = http.StatusServiceUnavailable
 		w.Header().Set("Retry-After", strconv.Itoa(DrainRetryAfter))
+		w.Header().Set(ReasonHeader, ReasonDraining)
 	}
 	writeJSON(w, code, resp)
 }
@@ -444,8 +459,10 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 }
 
 // writeDraining is the 503 every draining rejection goes through: the
-// Retry-After header tells clients and balancers when to try again.
+// Retry-After header tells clients and balancers when to try again, and the
+// reason header tells them why this 503 happened (vs a front-tier shed).
 func writeDraining(w http.ResponseWriter, msg string) {
 	w.Header().Set("Retry-After", strconv.Itoa(DrainRetryAfter))
+	w.Header().Set(ReasonHeader, ReasonDraining)
 	writeError(w, http.StatusServiceUnavailable, msg)
 }
