@@ -134,7 +134,13 @@ func run() error {
 	input := flag.String("input", "", "bench output file ('-' or empty reads stdin)")
 	update := flag.Bool("update", false, "rewrite the baseline from the input instead of checking")
 	serveMode := flag.Bool("serve", false, "input is a gendt-bench JSON report; baseline is BENCH_serve.json")
+	variance := flag.Bool("variance", false, "with -serve: -input is a comma-separated list of repeated bench reports; summarize their spread instead of gating")
+	varianceOut := flag.String("variance-out", "", "with -variance: write the spread report to this JSON file")
 	flag.Parse()
+
+	if *variance {
+		return runVariance(splitInputs(*input), *varianceOut)
+	}
 
 	var in io.Reader = os.Stdin
 	if *input != "" && *input != "-" {

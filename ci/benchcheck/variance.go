@@ -1,0 +1,123 @@
+// Variance mode: `benchcheck -serve -variance` characterizes run-to-run
+// spread across repeated gendt-bench windows so the serving baseline's
+// tolerances are derived from measured runner noise instead of guessed.
+// The capacity-smoke job runs its clean window N times, feeds all reports
+// here, and uploads the resulting spread artifact; BENCH_serve.json's
+// p99_ms_pct should comfortably exceed the suggested tolerance before the
+// baseline runs in "fail" mode.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"gendt/internal/loadgen"
+)
+
+// VarianceEntry is the observed spread of one named window across runs.
+type VarianceEntry struct {
+	Runs         int     `json:"runs"`
+	P99MsMin     float64 `json:"p99_ms_min"`
+	P99MsMax     float64 `json:"p99_ms_max"`
+	P99MsMean    float64 `json:"p99_ms_mean"`
+	P99SpreadPct float64 `json:"p99_spread_pct"` // (max-min)/min * 100
+	ErrorRateMax float64 `json:"error_rate_max"`
+}
+
+// VarianceReport is the artifact the capacity-smoke job uploads.
+type VarianceReport struct {
+	Inputs  []string                 `json:"inputs"`
+	Entries map[string]VarianceEntry `json:"entries"`
+	// SuggestedP99TolPct is a p99_ms_pct that would have absorbed this
+	// session's worst spread three times over (floor 100%): the margin a
+	// "fail"-mode baseline needs against a noisier future runner.
+	SuggestedP99TolPct float64 `json:"suggested_p99_tolerance_pct"`
+}
+
+// runVariance reads one gendt-bench report per input file and summarizes
+// the per-window spread. With outPath non-empty the report is also written
+// as JSON.
+func runVariance(inputs []string, outPath string) error {
+	if len(inputs) < 2 {
+		return fmt.Errorf("benchcheck -variance: need at least 2 input reports, got %d", len(inputs))
+	}
+	perName := make(map[string][]loadgen.Report)
+	for _, path := range inputs {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		got, err := ParseServeReports(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for name, rep := range got {
+			perName[name] = append(perName[name], rep)
+		}
+	}
+
+	out := VarianceReport{Inputs: inputs, Entries: make(map[string]VarianceEntry, len(perName))}
+	names := make([]string, 0, len(perName))
+	for name := range perName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		reps := perName[name]
+		e := VarianceEntry{Runs: len(reps)}
+		for i, r := range reps {
+			p99 := r.LatencyMs.P99
+			if i == 0 || p99 < e.P99MsMin {
+				e.P99MsMin = p99
+			}
+			if p99 > e.P99MsMax {
+				e.P99MsMax = p99
+			}
+			e.P99MsMean += p99 / float64(len(reps))
+			if r.ErrorRate > e.ErrorRateMax {
+				e.ErrorRateMax = r.ErrorRate
+			}
+		}
+		if e.P99MsMin > 0 {
+			e.P99SpreadPct = 100 * (e.P99MsMax - e.P99MsMin) / e.P99MsMin
+		}
+		out.Entries[name] = e
+		if tol := 3 * e.P99SpreadPct; tol > out.SuggestedP99TolPct {
+			out.SuggestedP99TolPct = tol
+		}
+		fmt.Printf("  %-28s %d runs   p99 %.1f..%.1fms (mean %.1f, spread %.0f%%)   worst err %.4f\n",
+			name, e.Runs, e.P99MsMin, e.P99MsMax, e.P99MsMean, e.P99SpreadPct, e.ErrorRateMax)
+	}
+	if out.SuggestedP99TolPct < 100 {
+		out.SuggestedP99TolPct = 100
+	}
+	fmt.Printf("benchcheck -variance: suggested p99_ms_pct >= %.0f over %d runs\n",
+		out.SuggestedP99TolPct, len(inputs))
+
+	if outPath != "" {
+		buf, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("benchcheck -variance: wrote %s\n", outPath)
+	}
+	return nil
+}
+
+// splitInputs turns the -input flag's comma-separated list into paths.
+func splitInputs(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

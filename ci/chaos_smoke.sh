@@ -1,0 +1,144 @@
+#!/usr/bin/env bash
+# chaos_smoke.sh — fleet resilience under injected faults. Trains a tiny
+# model, boots three gendt-serve replicas, puts a seeded gendt-chaos fault
+# proxy in front of each, and points gendt-lb at the proxies. Asserts:
+#
+#   1. with the proxies dormant, responses through the LB are bit-identical
+#      to a direct replica (the proxy is transparent until armed);
+#   2. with a scripted fault schedule armed — connection resets, injected
+#      503 bursts, latency spikes — a fixed-rate open-loop window stays
+#      >=99% successful: retries fail over around the faults;
+#   3. every 503 that does escape to clients carries a reason from the
+#      known X-Gendt-Reason taxonomy (draining/shed/upstream) — chaos must
+#      not invent new failure modes;
+#   4. the chaos control plane's /stats confirms faults were actually
+#      injected (the window wasn't quietly clean).
+#
+# Set CHAOS_OUT to a directory to keep the JSON reports.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+DATASET=(-dataset A -scale 0.02 -seed 7)
+TRAIN_ARGS=("${DATASET[@]}" -channels rsrp,rsrq
+    -epochs 2 -hidden 12 -batch 12 -step 6 -maxcells 6 -workers 2)
+
+LB=http://127.0.0.1:18080
+CTL=http://127.0.0.1:18090
+R1=http://127.0.0.1:18081   # real replicas
+R2=http://127.0.0.1:18082
+R3=http://127.0.0.1:18083
+C1=http://127.0.0.1:18091   # chaos proxies in front of them
+C2=http://127.0.0.1:18092
+C3=http://127.0.0.1:18093
+
+echo "=== build ==="
+go build -o "$work/" ./cmd/gendt-train ./cmd/gendt-serve ./cmd/gendt-lb \
+    ./cmd/gendt-bench ./cmd/gendt-chaos
+
+echo "=== train the served model ==="
+"$work/gendt-train" "${TRAIN_ARGS[@]}" -out "$work/model.json"
+
+wait_http() {
+    local url="$1"
+    for _ in $(seq 1 200); do
+        if curl -fsS -o /dev/null "$url" 2>/dev/null; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: $url never became healthy"
+    return 1
+}
+
+for url in "$LB" "$R1" "$R2" "$R3" "$C1" "$C2" "$C3"; do
+    if curl -fsS -o /dev/null "$url/healthz" 2>/dev/null; then
+        echo "FAIL: something is already listening at $url — stale fleet from an earlier run?"
+        exit 1
+    fi
+done
+
+echo "=== boot fleet: 3 replicas + 3 chaos proxies + lb ==="
+for i in 1 2 3; do
+    "$work/gendt-serve" -model "$work/model.json" "${DATASET[@]}" \
+        -addr "127.0.0.1:1808$i" >"$work/r$i.log" 2>&1 &
+    pids+=($!)
+done
+wait_http "$R1/healthz"; wait_http "$R2/healthz"; wait_http "$R3/healthz"
+
+# One fault schedule, staggered per proxy by the per-proxy seed; dormant
+# until armed. Windows (seconds from arming): resets early, a 503 burst
+# mid-window, latency spikes late.
+FAULTS='0-4:reset@0.08; 3-7:http:503@0.1; 6-10:latency:80ms@0.3'
+"$work/gendt-chaos" -ctl 127.0.0.1:18090 -seed 42 -fault "$FAULTS" \
+    -proxy "127.0.0.1:18091=$R1" \
+    -proxy "127.0.0.1:18092=$R2" \
+    -proxy "127.0.0.1:18093=$R3" >"$work/chaos.log" 2>&1 &
+pids+=($!)
+wait_http "$C1/healthz"
+
+# One extra retry over the default: three replicas with independent fault
+# draws make a third successor attempt nearly always land.
+"$work/gendt-lb" -addr 127.0.0.1:18080 -replica "$C1" -replica "$C2" -replica "$C3" \
+    -retries 3 -probe-interval 100ms -probe-timeout 1s >"$work/lb.log" 2>&1 &
+pids+=($!)
+wait_http "$LB/healthz"
+
+BENCH=("${DATASET[@]}" -routes 6 -steps 40 -trace-seed 1 -arrival fixed -timeout 10s)
+
+echo "=== dormant proxies are transparent: LB vs direct replica bit-identity ==="
+"$work/gendt-bench" -target "$LB" -verify-against "$R1" -verify-n 4 "${BENCH[@]}"
+
+echo "=== arm the fault schedule ==="
+curl -fsS -X POST "$CTL/arm" >/dev/null
+
+echo "=== fixed-rate window under chaos: >=99% success ==="
+if ! "$work/gendt-bench" -target "$LB" "${BENCH[@]}" -rps 12 -duration 10s -warmup 0s \
+    -name chaos-window -max-error-rate 0.01 -out "$work/bench-chaos.json"; then
+    echo "FAIL: load window under chaos exceeded 1% errors"
+    echo "--- chaos stats:"; curl -fsS "$CTL/stats" || true
+    echo "--- lb vars:"; curl -fsS "$LB/debug/vars" || true
+    exit 1
+fi
+
+echo "=== escaped 503s must use the known reason taxonomy ==="
+reasons="$(jq -r '.reasons // {} | keys[]' "$work/bench-chaos.json")"
+for r in $reasons; do
+    case "$r" in
+        draining|shed|upstream) ;;
+        *)
+            echo "FAIL: unknown X-Gendt-Reason \"$r\" escaped to clients"
+            jq '.reasons' "$work/bench-chaos.json"
+            exit 1
+            ;;
+    esac
+done
+echo "client-visible reasons: $(jq -c '.reasons // {}' "$work/bench-chaos.json")"
+
+echo "=== chaos control plane must confirm injected faults ==="
+stats="$(curl -fsS "$CTL/stats")"
+echo "$stats"
+injected="$(echo "$stats" | jq '[.[].injected // {} | to_entries[].value] | add // 0')"
+if [ "$injected" -lt 5 ]; then
+    echo "FAIL: only $injected faults injected — the chaos window tested nothing"
+    exit 1
+fi
+echo "total faults injected: $injected"
+
+echo "=== disarm: fleet must return to bit-identical clean serving ==="
+curl -fsS -X POST "$CTL/disarm" >/dev/null
+"$work/gendt-bench" -target "$LB" -verify-against "$R2" -verify-n 2 "${BENCH[@]}"
+
+if [ -n "${CHAOS_OUT:-}" ]; then
+    mkdir -p "$CHAOS_OUT"
+    cp "$work/bench-chaos.json" "$CHAOS_OUT/"
+    echo "$stats" >"$CHAOS_OUT/chaos-stats.json"
+    echo "reports copied to $CHAOS_OUT/"
+fi
+
+echo "chaos-smoke: OK"

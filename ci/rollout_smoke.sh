@@ -1,0 +1,165 @@
+#!/usr/bin/env bash
+# rollout_smoke.sh — end-to-end proof that validator-gated rolling rollout
+# promotes good models and rolls bad ones back. Trains a current model and
+# two candidates — a healthy one (same recipe, one more epoch) and a
+# negative control (the healthy candidate with Gaussian weight noise, via
+# gendt-validate's -corrupt/-corrupt-out hook) — then boots three replicas
+# off one shared serving path behind gendt-lb and asserts:
+#
+#   1. rolling out the CORRUPT candidate halts at the first replica: the
+#      per-replica statistical gate fails, gendt-rollout exits non-zero,
+#      the previous model file is restored byte-for-byte, every replica
+#      serves the previous weights again, the LB's /debug/vars reports
+#      phase "rolled_back" with a dist/ check in the reason, and a fixed
+#      /v1/generate request answers bit-identically to before the attempt;
+#   2. rolling out the HEALTHY candidate completes: exit 0, phase "done"
+#      with 3/3 promoted, the serving path holds the candidate bytes, and
+#      every replica reports the candidate's weight fingerprint.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+work="$(mktemp -d)"
+pids=()
+cleanup() {
+    for p in "${pids[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+DATASET=(-dataset A -scale 0.02 -seed 7)
+TRAIN_ARGS=("${DATASET[@]}" -channels rsrp,rsrq
+    -hidden 12 -batch 12 -step 6 -maxcells 6 -workers 2)
+GOLDEN=validate/golden/gate-a.json
+TOKEN=rollout-smoke-token
+
+LB=http://127.0.0.1:18080
+R1=http://127.0.0.1:18081
+R2=http://127.0.0.1:18082
+R3=http://127.0.0.1:18083
+
+echo "=== build ==="
+go build -o "$work/" ./cmd/gendt-train ./cmd/gendt-serve ./cmd/gendt-lb \
+    ./cmd/gendt-validate ./cmd/gendt-rollout
+
+echo "=== train current model + healthy candidate, corrupt the negative control ==="
+"$work/gendt-train" "${TRAIN_ARGS[@]}" -epochs 2 -out "$work/current.json"
+"$work/gendt-train" "${TRAIN_ARGS[@]}" -epochs 3 -out "$work/candidate.json"
+"$work/gendt-validate" -model "$work/candidate.json" -corrupt 0.5 -seed 7 \
+    -corrupt-out "$work/corrupt.json"
+
+mkdir -p "$work/serving"
+SERVING="$work/serving/model.json"
+cp "$work/current.json" "$SERVING"
+
+wait_http() {
+    local url="$1"
+    for _ in $(seq 1 200); do
+        if curl -fsS -o /dev/null "$url" 2>/dev/null; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: $url never became healthy"
+    return 1
+}
+
+for url in "$LB" "$R1" "$R2" "$R3"; do
+    if curl -fsS -o /dev/null "$url/healthz" 2>/dev/null; then
+        echo "FAIL: something is already listening at $url — stale fleet from an earlier run?"
+        exit 1
+    fi
+done
+
+echo "=== boot fleet: 3 replicas off the shared serving path + lb ==="
+for i in 1 2 3; do
+    "$work/gendt-serve" -model "$SERVING" "${DATASET[@]}" \
+        -addr "127.0.0.1:1808$i" >"$work/r$i.log" 2>&1 &
+    pids+=($!)
+done
+wait_http "$R1/healthz"; wait_http "$R2/healthz"; wait_http "$R3/healthz"
+
+"$work/gendt-lb" -addr 127.0.0.1:18080 -replica "$R1" -replica "$R2" -replica "$R3" \
+    -admin-token "$TOKEN" -probe-interval 100ms -probe-timeout 1s >"$work/lb.log" 2>&1 &
+pids+=($!)
+wait_http "$LB/healthz"
+
+# One fixed generation request through the LB: its .series is the
+# bit-identity probe for "the fleet still serves the previous model".
+PROBE='{"route":[{"t":0,"lat":55.9533,"lon":-3.1883},{"t":2,"lat":55.9538,"lon":-3.1878},{"t":4,"lat":55.9543,"lon":-3.1873},{"t":6,"lat":55.9548,"lon":-3.1868}],"seed":11,"samples":1}'
+probe() {
+    curl -fsS -X POST -H 'Content-Type: application/json' -d "$PROBE" \
+        "$LB/v1/generate" | jq -c '.series'
+}
+before="$(probe)"
+
+ROLLOUT_ARGS=(-lb "$LB" -admin-token "$TOKEN" -replicas "$R1,$R2,$R3"
+    -model-path "$SERVING" "${DATASET[@]}" -golden "$GOLDEN"
+    -budget-window 500ms -drain-timeout 10s)
+
+echo "=== corrupt candidate must halt at replica 1 and roll back ==="
+if "$work/gendt-rollout" "${ROLLOUT_ARGS[@]}" -candidate "$work/corrupt.json" \
+    >"$work/rollout-corrupt.log" 2>&1; then
+    echo "FAIL: rollout promoted a corrupted model"
+    cat "$work/rollout-corrupt.log"
+    exit 1
+fi
+cat "$work/rollout-corrupt.log"
+
+vars="$(curl -fsS "$LB/debug/vars")"
+phase="$(echo "$vars" | jq -r '.rollout.phase')"
+reason="$(echo "$vars" | jq -r '.rollout.reason')"
+promoted="$(echo "$vars" | jq -r '.rollout.promoted')"
+if [ "$phase" != "rolled_back" ]; then
+    echo "FAIL: rollout phase is \"$phase\", want rolled_back"
+    echo "$vars" | jq '.rollout'
+    exit 1
+fi
+if [ "$promoted" != 0 ]; then
+    echo "FAIL: corrupt rollout promoted $promoted replicas, want 0 (halt at the first)"
+    exit 1
+fi
+case "$reason" in
+    *dist/*) ;;
+    *)
+        echo "FAIL: rollback reason names no dist/ check: $reason"
+        exit 1
+        ;;
+esac
+echo "rolled back at replica 1: $reason"
+
+if ! cmp -s "$SERVING" "$work/current.json"; then
+    echo "FAIL: serving path was not restored to the previous model"
+    exit 1
+fi
+after="$(probe)"
+if [ "$before" != "$after" ]; then
+    echo "FAIL: fleet responses changed across the rolled-back attempt"
+    exit 1
+fi
+echo "previous model restored byte-for-byte; probe response bit-identical"
+
+echo "=== healthy candidate must promote the whole fleet ==="
+"$work/gendt-rollout" "${ROLLOUT_ARGS[@]}" -candidate "$work/candidate.json" \
+    | tee "$work/rollout-good.log"
+
+vars="$(curl -fsS "$LB/debug/vars")"
+phase="$(echo "$vars" | jq -r '.rollout.phase')"
+promoted="$(echo "$vars" | jq -r '.rollout.promoted')"
+if [ "$phase" != "done" ] || [ "$promoted" != 3 ]; then
+    echo "FAIL: rollout state is $phase $promoted/3, want done 3/3"
+    echo "$vars" | jq '.rollout'
+    exit 1
+fi
+if ! cmp -s "$SERVING" "$work/candidate.json"; then
+    echo "FAIL: serving path does not hold the candidate after promotion"
+    exit 1
+fi
+want_fp="$(curl -fsS "$R1/v1/models" | jq -r '.models[0].fingerprint')"
+for url in "$R1" "$R2" "$R3"; do
+    fp="$(curl -fsS "$url/v1/models" | jq -r '.models[0].fingerprint')"
+    if [ "$fp" != "$want_fp" ]; then
+        echo "FAIL: $url serves fingerprint $fp, fleet is split ($want_fp elsewhere)"
+        exit 1
+    fi
+done
+echo "fleet promoted: all replicas serve fingerprint $want_fp"
+
+echo "rollout-smoke: OK"

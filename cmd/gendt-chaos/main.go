@@ -1,0 +1,117 @@
+// Command gendt-chaos runs seeded, deterministic fault proxies between
+// gendt-lb and its replicas. Each -proxy flag maps a listen address to a
+// backend; every proxy shares the scripted fault schedule and derives its
+// per-request injection decisions from -seed, so a run is reproducible.
+//
+// The schedule is dormant until armed through the control server, which
+// lets a harness verify clean behavior through the exact same network path
+// first:
+//
+//	POST /arm     start the schedule clock on every proxy
+//	POST /disarm  back to transparent
+//	GET  /stats   per-proxy forward/injection counts (JSON)
+//
+// Fault script grammar (see internal/chaos): semicolon-separated
+// "START-END:KIND[:PARAM][@PROB]" windows, offsets relative to arming.
+// Kinds: latency:DUR, reset, http:CODE, truncate, slowloris, blackhole.
+//
+// Usage:
+//
+//	gendt-chaos -proxy 127.0.0.1:18091=http://127.0.0.1:18081 \
+//	            -proxy 127.0.0.1:18092=http://127.0.0.1:18082 \
+//	            -fault '0-10:reset@0.1;10-20:latency:200ms@0.3;20-30:http:503@0.2' \
+//	            [-seed 1] [-ctl 127.0.0.1:18090]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"gendt/internal/chaos"
+)
+
+// proxyFlags collects repeated -proxy listen=target mappings.
+type proxyFlags []struct{ listen, target string }
+
+func (f *proxyFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, p := range *f {
+		parts[i] = p.listen + "=" + p.target
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *proxyFlags) Set(v string) error {
+	listen, target, ok := strings.Cut(v, "=")
+	if !ok || listen == "" || target == "" {
+		return fmt.Errorf("proxy %q: want LISTEN=TARGET_URL", v)
+	}
+	if !strings.HasPrefix(target, "http://") && !strings.HasPrefix(target, "https://") {
+		return fmt.Errorf("proxy target %q: want an http(s) base URL", target)
+	}
+	*f = append(*f, struct{ listen, target string }{listen, target})
+	return nil
+}
+
+func main() {
+	var proxies proxyFlags
+	flag.Var(&proxies, "proxy", "LISTEN=TARGET_URL mapping (repeatable, required)")
+	fault := flag.String("fault", "", "fault script, e.g. '0-10:reset@0.1;10-20:http:503@0.3' (empty = transparent)")
+	seed := flag.Uint64("seed", 1, "seed for deterministic per-request fault decisions")
+	ctl := flag.String("ctl", "127.0.0.1:18090", "control server address (/arm, /disarm, /stats)")
+	arm := flag.Bool("arm", false, "arm the schedule immediately instead of waiting for POST /arm")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "gendt-chaos: ", log.LstdFlags)
+	if len(proxies) == 0 {
+		logger.Fatal("at least one -proxy is required")
+	}
+	var rules []chaos.Rule
+	if *fault != "" {
+		var err error
+		if rules, err = chaos.ParseScript(*fault); err != nil {
+			logger.Fatalf("-fault: %v", err)
+		}
+	}
+
+	fleet := &chaos.Fleet{}
+	servers := make([]*http.Server, 0, len(proxies)+1)
+	for _, pf := range proxies {
+		p := chaos.NewProxy(pf.target, rules, *seed)
+		if *arm {
+			p.Arm()
+		}
+		fleet.Proxies = append(fleet.Proxies, p)
+		srv := &http.Server{Addr: pf.listen, Handler: p, ReadHeaderTimeout: 10 * time.Second}
+		servers = append(servers, srv)
+		go func(pf struct{ listen, target string }, srv *http.Server) {
+			logger.Printf("proxying %s -> %s", pf.listen, pf.target)
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Fatal(err)
+			}
+		}(pf, srv)
+	}
+	ctlSrv := &http.Server{Addr: *ctl, Handler: fleet.ControlHandler(), ReadHeaderTimeout: 10 * time.Second}
+	servers = append(servers, ctlSrv)
+	go func() {
+		logger.Printf("control on %s (%d rule(s), seed %d, armed=%v)", *ctl, len(rules), *seed, *arm)
+		if err := ctlSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			logger.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	for _, srv := range servers {
+		srv.Close()
+	}
+	logger.Print("bye")
+}

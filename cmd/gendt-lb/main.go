@@ -7,10 +7,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/generate   consistent-hash routed to a replica (+retry/shed)
-//	GET  /v1/models     forwarded to the first healthy replica
-//	GET  /healthz       front-tier + per-replica health
-//	GET  /debug/vars    per-replica requests/retries/ejections/latency (JSON)
+//	POST /v1/generate     consistent-hash routed to a replica (+retry/shed)
+//	GET  /v1/models       forwarded to the first healthy replica
+//	GET  /healthz         front-tier + per-replica health
+//	GET  /debug/vars      per-replica requests/retries/ejections/latency (JSON)
+//	GET  /admin/replicas  current ring membership
+//	POST /admin/replicas  add/remove/drain/readmit a replica (bearer auth)
+//	GET  /admin/rollout   rollout state (phase/step/promoted/reason)
+//	POST /admin/rollout   update rollout state (bearer auth; gendt-rollout)
 //
 // SIGINT/SIGTERM flip /healthz to draining, then shut down gracefully.
 //
@@ -21,6 +25,7 @@
 //	         [-timeout 60s] [-max-body 8388608]
 //	         [-probe-interval 500ms] [-probe-timeout 2s]
 //	         [-eject-after 2] [-readmit-after 2]
+//	         [-admin-token secret] [-drain-timeout 30s]
 package main
 
 import (
@@ -69,6 +74,8 @@ func main() {
 	probeTimeout := flag.Duration("probe-timeout", lb.DefaultProbeTimeout, "health probe timeout")
 	ejectAfter := flag.Int("eject-after", lb.DefaultFailAfter, "consecutive probe/connect failures before ejection")
 	readmitAfter := flag.Int("readmit-after", lb.DefaultOKAfter, "consecutive probe successes before readmission")
+	adminToken := flag.String("admin-token", "", "bearer token for mutating /admin endpoints (empty disables them)")
+	drainTimeout := flag.Duration("drain-timeout", lb.DefaultDrainTimeout, "max wait for in-flight requests when removing a replica")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "gendt-lb: ", log.LstdFlags)
@@ -87,6 +94,8 @@ func main() {
 		ProbeTimeout:  *probeTimeout,
 		FailAfter:     *ejectAfter,
 		OKAfter:       *readmitAfter,
+		AdminToken:    *adminToken,
+		DrainTimeout:  *drainTimeout,
 	})
 	if err != nil {
 		logger.Fatal(err)

@@ -11,7 +11,16 @@
 //	               [-dataset A|B] [-scale F] [-seed N] [-routes N]
 //	               [-samples N] [-max-route-len N] [-workers N]
 //	               [-precision f64|f32|int8]
-//	               [-update-golden] [-corrupt SIGMA] [-skip-http] [-json]
+//	               [-update-golden] [-corrupt SIGMA] [-corrupt-out PATH]
+//	               [-skip-http] [-json]
+//	               [-target http://replica:8081] [-target-model NAME]
+//
+// With -target the suite validates what a live replica actually serves:
+// the distributional pass fetches samples over the replica's /v1/generate
+// (same seeds as the local pass, same golden tolerances) and the
+// metamorphic pass adds remote determinism, remote truncation/monotonicity,
+// and a bit-identity check that the replica serves exactly the -model
+// candidate — the gate a rolling rollout runs per replica.
 //
 // Exit status: 0 all checks passed; 1 at least one check failed (each
 // failure is printed as "FAIL <name>"); 2 usage or setup error.
@@ -41,6 +50,9 @@ func main() {
 	golden := flag.String("golden", "", "golden tolerance file for the distributional gates")
 	updateGolden := flag.Bool("update-golden", false, "derive tolerances from this run and write them to -golden")
 	corrupt := flag.Float64("corrupt", 0, "perturb every weight with Gaussian noise of this sigma before validating (negative-control hook)")
+	corruptOut := flag.String("corrupt-out", "", "write the (possibly corrupted) in-memory model to this path and exit 0 — builds rollback-test candidates")
+	target := flag.String("target", "", "validate a live replica at this base URL instead of the in-process model")
+	targetModel := flag.String("target-model", "", "registered model name on the -target replica (empty = its single-model default)")
 	precision := flag.String("precision", "", "backend to validate: f64 (live model, default), f32, or int8 (frozen inference kernels)")
 	skipHTTP := flag.Bool("skip-http", false, "skip the HTTP /v1/generate determinism check")
 	asJSON := flag.Bool("json", false, "print the full report as JSON instead of text")
@@ -71,6 +83,14 @@ func main() {
 		fmt.Printf("corrupting model: gaussian sigma=%g over %d weights\n", *corrupt, m.ParamCount())
 		m.PerturbWeights(*corrupt, *seed+1)
 	}
+	if *corruptOut != "" {
+		if err := m.SaveFile(*corruptOut); err != nil {
+			fmt.Fprintln(os.Stderr, "gendt-validate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("wrote model (corrupt sigma=%g) to %s\n", *corrupt, *corruptOut)
+		return
+	}
 
 	ds, err := dataset.NewByName(strings.ToUpper(*which), dataset.Spec{Seed: *seed, Scale: *scale})
 	if err != nil {
@@ -98,7 +118,14 @@ func main() {
 		}
 	}
 
-	rep, err := validate.Run(m, opts)
+	var rep *validate.Report
+	if *target != "" {
+		rep, err = validate.RunRemote(m, validate.RemoteOptions{
+			Target: strings.TrimRight(*target, "/"), Model: *targetModel,
+		}, opts)
+	} else {
+		rep, err = validate.Run(m, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gendt-validate:", err)
 		os.Exit(2)

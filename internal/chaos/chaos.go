@@ -1,0 +1,312 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderInjected marks a chaos-generated response (KindHTTP) so harnesses
+// can tell injected errors from real backend ones.
+const HeaderInjected = "X-Gendt-Chaos"
+
+// Proxy forwards HTTP requests to one backend, injecting scripted faults.
+// Until Arm is called the schedule is dormant and the proxy is transparent,
+// which lets a harness verify clean behavior through the exact same path
+// before unleashing the script.
+//
+// Fault decisions are deterministic: request i through this proxy draws
+// from splitmix64(seed, ruleIndex, i), so a given seed + schedule + request
+// order reproduces the same injections.
+type Proxy struct {
+	target string // backend base URL, e.g. http://127.0.0.1:18081
+	rules  []Rule
+	seed   uint64
+	client *http.Client
+
+	armedAt atomic.Int64 // unixnano; 0 = dormant
+	reqs    atomic.Uint64
+
+	mu       sync.Mutex
+	injected map[Kind]uint64
+	forwards uint64
+}
+
+// NewProxy builds a fault proxy in front of target. rules may be nil (a
+// permanently transparent proxy is still useful as a control).
+func NewProxy(target string, rules []Rule, seed uint64) *Proxy {
+	return &Proxy{
+		target:   strings.TrimRight(target, "/"),
+		rules:    rules,
+		seed:     seed,
+		injected: make(map[Kind]uint64),
+		// No client timeout: the proxy honors the caller's context so the
+		// LB's own per-attempt timeout stays the one source of deadline.
+		client: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}},
+	}
+}
+
+// Arm starts the schedule clock: rule windows are offsets from this
+// moment. Re-arming restarts the clock and the request counter, so a
+// harness can replay the same scripted run.
+func (p *Proxy) Arm() {
+	p.reqs.Store(0)
+	p.armedAt.Store(time.Now().UnixNano())
+}
+
+// Disarm returns the proxy to transparent mode.
+func (p *Proxy) Disarm() { p.armedAt.Store(0) }
+
+// Stats reports how many requests were forwarded untouched and how many
+// suffered each fault kind.
+func (p *Proxy) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{Target: p.target, Forwards: p.forwards, Injected: make(map[Kind]uint64, len(p.injected))}
+	for k, v := range p.injected {
+		s.Injected[k] = v
+		s.Total += v
+	}
+	return s
+}
+
+// Stats is one proxy's injection accounting.
+type Stats struct {
+	Target   string          `json:"target"`
+	Forwards uint64          `json:"forwards"` // requests passed through clean
+	Total    uint64          `json:"injected_total"`
+	Injected map[Kind]uint64 `json:"injected"` // by fault kind
+}
+
+func (p *Proxy) count(k Kind) {
+	p.mu.Lock()
+	p.injected[k]++
+	p.mu.Unlock()
+}
+
+// pick returns the fault to inject for the next request, if any.
+func (p *Proxy) pick() (Rule, bool) {
+	armed := p.armedAt.Load()
+	n := p.reqs.Add(1)
+	if armed == 0 {
+		return Rule{}, false
+	}
+	t := time.Duration(time.Now().UnixNano() - armed)
+	for i, r := range p.rules {
+		if t < r.Start || t >= r.End {
+			continue
+		}
+		if draw(p.seed, uint64(i), n) < r.Prob {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// draw maps (seed, rule, request#) to a uniform float in [0,1) via the
+// splitmix64 finalizer — the same request position always draws the same
+// value for a given seed.
+func draw(seed, rule, n uint64) float64 {
+	z := seed ^ (rule+1)*0x9e3779b97f4a7c15 ^ n*0xbf58476d1ce4e5b9
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// ServeHTTP implements the proxy.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rule, inject := p.pick()
+	if inject {
+		switch rule.Kind {
+		case KindLatency:
+			p.count(KindLatency)
+			select {
+			case <-time.After(rule.Latency):
+			case <-r.Context().Done():
+				return
+			}
+			// fall through to a normal forward after the delay
+		case KindReset:
+			p.count(KindReset)
+			p.reset(w)
+			return
+		case KindHTTP:
+			p.count(KindHTTP)
+			w.Header().Set(HeaderInjected, string(KindHTTP))
+			w.WriteHeader(rule.Code)
+			fmt.Fprintf(w, `{"error":"chaos-injected %d"}`, rule.Code)
+			return
+		case KindBlackhole:
+			p.count(KindBlackhole)
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done() // hold until the client gives up
+			return
+		case KindTruncate, KindSlowloris:
+			p.count(rule.Kind)
+			p.forwardMangled(w, r, rule.Kind)
+			return
+		}
+	}
+	p.forward(w, r, inject)
+}
+
+// forward relays the request to the backend unchanged.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, wasDelayed bool) {
+	resp, err := p.roundTrip(r)
+	if err != nil {
+		// Backend unreachable: surface as a connect-style failure by
+		// killing the conn, which is what the LB expects from a dead
+		// replica (a 502 would be relayed to the client instead).
+		p.reset(w)
+		return
+	}
+	defer resp.Body.Close()
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	if !wasDelayed {
+		p.mu.Lock()
+		p.forwards++
+		p.mu.Unlock()
+	}
+}
+
+// forwardMangled forwards the request but corrupts the response stream:
+// truncate cuts the body at half its length and kills the conn; slowloris
+// drips one byte per 50ms until the client hangs up.
+func (p *Proxy) forwardMangled(w http.ResponseWriter, r *http.Request, kind Kind) {
+	resp, err := p.roundTrip(r)
+	if err != nil {
+		p.reset(w)
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	switch kind {
+	case KindTruncate:
+		// Advertise the full length, deliver half, then RST: the client
+		// sees a mid-body connection error, not a short-but-valid reply.
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush() // half the body must hit the wire before the RST
+		}
+		p.reset(w)
+	case KindSlowloris:
+		copyHeaders(w.Header(), resp.Header)
+		w.Header().Del("Content-Length")
+		w.WriteHeader(resp.StatusCode)
+		fl, _ := w.(http.Flusher)
+		for i := range body {
+			if r.Context().Err() != nil {
+				return
+			}
+			if _, err := w.Write(body[i : i+1]); err != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+			select {
+			case <-time.After(50 * time.Millisecond):
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+func (p *Proxy) roundTrip(r *http.Request) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		return nil, err
+	}
+	copyHeaders(req.Header, r.Header)
+	return p.client.Do(req)
+}
+
+// reset kills the client connection abruptly. SO_LINGER 0 turns the close
+// into a TCP RST so the peer sees "connection reset", the same signal a
+// crashed replica produces.
+func (p *Proxy) reset(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// Fallback for non-hijackable writers (http2, tests): an empty 502
+		// at least fails the request.
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetLinger(0)
+	}
+	conn.Close()
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if k == "Connection" || k == "Keep-Alive" || k == "Transfer-Encoding" {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// Fleet is a set of proxies plus the control server CI drives: POST /arm
+// starts every schedule, POST /disarm stops them, GET /stats dumps
+// per-proxy injection counts.
+type Fleet struct {
+	Proxies []*Proxy
+}
+
+// ControlHandler returns the /arm, /disarm, /stats mux.
+func (f *Fleet) ControlHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/arm", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "use POST", http.StatusMethodNotAllowed)
+			return
+		}
+		for _, p := range f.Proxies {
+			p.Arm()
+		}
+		fmt.Fprintln(w, `{"armed":true}`)
+	})
+	mux.HandleFunc("/disarm", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "use POST", http.StatusMethodNotAllowed)
+			return
+		}
+		for _, p := range f.Proxies {
+			p.Disarm()
+		}
+		fmt.Fprintln(w, `{"armed":false}`)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		stats := make([]Stats, len(f.Proxies))
+		for i, p := range f.Proxies {
+			stats[i] = p.Stats()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(stats)
+	})
+	return mux
+}

@@ -1,0 +1,338 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseScript(t *testing.T) {
+	rules, err := ParseScript("0-5:reset@0.3; 2s-4s:latency:250ms@0.5 ;0-10:http:503;10-15:blackhole@0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 4 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	want := []Rule{
+		{Kind: KindReset, Start: 0, End: 5 * time.Second, Prob: 0.3},
+		{Kind: KindLatency, Start: 2 * time.Second, End: 4 * time.Second, Prob: 0.5, Latency: 250 * time.Millisecond},
+		{Kind: KindHTTP, Start: 0, End: 10 * time.Second, Prob: 1, Code: 503},
+		{Kind: KindBlackhole, Start: 10 * time.Second, End: 15 * time.Second, Prob: 0.1},
+	}
+	for i, r := range rules {
+		if r != want[i] {
+			t.Fatalf("rule %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+func TestParseScriptRejects(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"0-5",                  // no kind
+		"5-5:reset",            // empty window
+		"5-2:reset",            // inverted window
+		"0-5:latency",          // missing param
+		"0-5:latency:-1s",      // negative latency
+		"0-5:http:200",         // non-error code
+		"0-5:http",             // missing code
+		"0-5:reset:x",          // stray param
+		"0-5:quake",            // unknown kind
+		"0-5:reset@1.5",        // prob out of range
+		"0-5:reset@minusone",   // unparsable prob
+		"x-5:reset",            // bad offset
+		"0-5:latency:250ms@@1", // double @
+	} {
+		if _, err := ParseScript(bad); err == nil {
+			t.Errorf("ParseScript(%q) accepted", bad)
+		}
+	}
+}
+
+// backend answers every request with a fixed JSON body.
+func backend(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"series":[1,2,3,4,5,6,7,8]}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func proxyFor(t *testing.T, target string, rules []Rule, seed uint64) (*Proxy, *httptest.Server) {
+	t.Helper()
+	p := NewProxy(target, rules, seed)
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return p, srv
+}
+
+func TestDormantProxyIsTransparent(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:http:503") // would kill everything if armed
+	p, srv := proxyFor(t, be.URL, rules, 1)
+
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(srv.URL + "/v1/generate")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || string(body) != `{"series":[1,2,3,4,5,6,7,8]}` {
+			t.Fatalf("dormant proxy mangled request: %d %s", resp.StatusCode, body)
+		}
+	}
+	if s := p.Stats(); s.Total != 0 || s.Forwards != 10 {
+		t.Fatalf("dormant stats %+v", s)
+	}
+}
+
+func TestInjectHTTP(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:http:503")
+	p, srv := proxyFor(t, be.URL, rules, 1)
+	p.Arm()
+
+	resp, err := http.Get(srv.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Fatalf("status %d, want injected 503", resp.StatusCode)
+	}
+	if resp.Header.Get(HeaderInjected) == "" {
+		t.Fatal("injected response not marked with " + HeaderInjected)
+	}
+	if s := p.Stats(); s.Injected[KindHTTP] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInjectReset(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:reset")
+	p, srv := proxyFor(t, be.URL, rules, 1)
+	p.Arm()
+
+	_, err := http.Get(srv.URL + "/v1/generate")
+	if err == nil {
+		t.Fatal("reset fault produced a successful response")
+	}
+	if s := p.Stats(); s.Injected[KindReset] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInjectLatency(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:latency:150ms")
+	p, srv := proxyFor(t, be.URL, rules, 1)
+	p.Arm()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if d := time.Since(start); d < 150*time.Millisecond {
+		t.Fatalf("latency fault added only %s", d)
+	}
+	// Delayed, not corrupted.
+	if resp.StatusCode != 200 || string(body) != `{"series":[1,2,3,4,5,6,7,8]}` {
+		t.Fatalf("latency fault corrupted response: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestInjectTruncate(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:truncate")
+	p, srv := proxyFor(t, be.URL, rules, 1)
+	p.Arm()
+
+	resp, err := http.Get(srv.URL + "/v1/generate")
+	if err == nil {
+		// Headers may arrive fine; the body read must fail short.
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && string(body) == `{"series":[1,2,3,4,5,6,7,8]}` {
+			t.Fatal("truncate fault delivered the full body")
+		}
+	}
+	if s := p.Stats(); s.Injected[KindTruncate] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInjectBlackholeHonorsClientTimeout(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:blackhole")
+	p, srv := proxyFor(t, be.URL, rules, 1)
+	p.Arm()
+
+	client := &http.Client{Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL + "/v1/generate")
+	if err == nil {
+		t.Fatal("blackhole answered")
+	}
+	if d := time.Since(start); d < 90*time.Millisecond || d > 2*time.Second {
+		t.Fatalf("blackhole released after %s, want ~client timeout", d)
+	}
+	if s := p.Stats(); s.Injected[KindBlackhole] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestInjectSlowloris(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:slowloris")
+	p, srv := proxyFor(t, be.URL, rules, 1)
+	p.Arm()
+
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	resp, err := client.Get(srv.URL + "/v1/generate")
+	if err == nil {
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Fatal("slowloris delivered the full body within the client timeout")
+		}
+	}
+	if s := p.Stats(); s.Injected[KindSlowloris] != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+// TestDeterministicInjections: same seed + schedule + request order →
+// identical injection decisions; different seed → (overwhelmingly) a
+// different pattern.
+func TestDeterministicInjections(t *testing.T) {
+	pattern := func(seed uint64) string {
+		var b strings.Builder
+		for n := uint64(1); n <= 256; n++ {
+			if draw(seed, 0, n) < 0.3 {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	if pattern(42) != pattern(42) {
+		t.Fatal("same seed produced different injection patterns")
+	}
+	if pattern(42) == pattern(43) {
+		t.Fatal("different seeds produced the same 256-request pattern")
+	}
+	// Probability is roughly honored.
+	hits := strings.Count(pattern(42), "x")
+	if hits < 48 || hits > 112 { // 0.3*256=77 ± slack
+		t.Fatalf("prob 0.3 hit %d/256 requests", hits)
+	}
+}
+
+func TestArmResetRestartsSchedule(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:http:503@0.5")
+	p, srv := proxyFor(t, be.URL, rules, 9)
+
+	run := func() string {
+		p.Arm()
+		var b strings.Builder
+		for i := 0; i < 64; i++ {
+			resp, err := http.Get(srv.URL + "/x")
+			if err != nil {
+				b.WriteByte('E')
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == 503 {
+				b.WriteByte('x')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("re-armed run diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestFleetControl(t *testing.T) {
+	be := backend(t)
+	rules, _ := ParseScript("0-3600:http:503")
+	p, srv := proxyFor(t, be.URL, rules, 1)
+	fleet := &Fleet{Proxies: []*Proxy{p}}
+	ctl := httptest.NewServer(fleet.ControlHandler())
+	defer ctl.Close()
+
+	// Dormant → clean.
+	resp, _ := http.Get(srv.URL + "/x")
+	if resp.StatusCode != 200 {
+		t.Fatalf("dormant: %d", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Arm via control → faults fire.
+	if resp, err := http.Post(ctl.URL+"/arm", "", nil); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("arm: %v %d", err, resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/x")
+	if resp.StatusCode != 503 {
+		t.Fatalf("armed: %d, want 503", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Disarm → clean again; stats report the injection.
+	if resp, err := http.Post(ctl.URL+"/disarm", "", nil); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("disarm: %v", err)
+	}
+	resp, _ = http.Get(srv.URL + "/x")
+	if resp.StatusCode != 200 {
+		t.Fatalf("disarmed: %d", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	sresp, err := http.Get(ctl.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if !strings.Contains(string(stats), `"http": 1`) {
+		t.Fatalf("stats missing injection count: %s", stats)
+	}
+}
+
+func TestScheduleWindows(t *testing.T) {
+	be := backend(t)
+	// Faults only in a window that has already passed by the time we send.
+	rules, _ := ParseScript("3600-7200:http:503")
+	p, srv := proxyFor(t, be.URL, rules, 1)
+	p.Arm()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("out-of-window fault fired: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,168 @@
+// Package chaos is a seeded, deterministic HTTP fault proxy that sits
+// between gendt-lb and its replicas and injects failures on a scripted
+// schedule. It exists to turn the front tier's probe/ejection/retry
+// machinery and the rollout rollback path into CI-proven behavior: the
+// same seed and schedule always injects the same faults into the same
+// request positions, so a chaos run that passes locally passes in CI.
+//
+// Fault taxonomy (Kind):
+//
+//	latency    hold the request for a fixed delay, then forward it
+//	reset      kill the client connection (SO_LINGER 0 → TCP RST)
+//	http       answer with a fixed status code, never touching the backend
+//	truncate   forward, then cut the response body short mid-stream
+//	slowloris  forward, then drip the response one byte at a time
+//	blackhole  swallow the request and never answer (one-way partition:
+//	           client→server delivered, server→client dropped)
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind names one fault type.
+type Kind string
+
+// The fault kinds a Rule can inject.
+const (
+	KindLatency   Kind = "latency"
+	KindReset     Kind = "reset"
+	KindHTTP      Kind = "http"
+	KindTruncate  Kind = "truncate"
+	KindSlowloris Kind = "slowloris"
+	KindBlackhole Kind = "blackhole"
+)
+
+// Rule is one window of a fault schedule: between Start and End (offsets
+// from the moment the schedule is armed), each request independently
+// suffers Kind with probability Prob.
+type Rule struct {
+	Kind  Kind
+	Start time.Duration // window start, inclusive
+	End   time.Duration // window end, exclusive
+	Prob  float64       // per-request injection probability in the window
+
+	Latency time.Duration // KindLatency: added delay
+	Code    int           // KindHTTP: injected status code
+}
+
+func (r Rule) String() string {
+	s := fmt.Sprintf("%s-%s:%s", r.Start, r.End, r.Kind)
+	switch r.Kind {
+	case KindLatency:
+		s += ":" + r.Latency.String()
+	case KindHTTP:
+		s += ":" + strconv.Itoa(r.Code)
+	}
+	return fmt.Sprintf("%s@%g", s, r.Prob)
+}
+
+// ParseScript parses a fault schedule. The grammar, per semicolon-separated
+// rule:
+//
+//	START-END:KIND[:PARAM][@PROB]
+//
+// START and END are Go durations (plain numbers mean seconds) relative to
+// arming. PARAM is the latency duration for "latency" and the status code
+// for "http". PROB defaults to 1. Examples:
+//
+//	0-5:reset@0.3
+//	2s-4s:latency:250ms@0.5
+//	0-10:http:503@0.25;10-15:blackhole@0.1
+func ParseScript(s string) ([]Rule, error) {
+	var rules []Rule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		r, err := parseRule(part)
+		if err != nil {
+			return nil, fmt.Errorf("rule %q: %w", part, err)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("empty fault script")
+	}
+	return rules, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	r := Rule{Prob: 1}
+	if at := strings.LastIndex(s, "@"); at >= 0 {
+		p, err := strconv.ParseFloat(s[at+1:], 64)
+		if err != nil || p < 0 || p > 1 {
+			return r, fmt.Errorf("probability %q: want a float in [0,1]", s[at+1:])
+		}
+		r.Prob = p
+		s = s[:at]
+	}
+	fields := strings.Split(s, ":")
+	if len(fields) < 2 {
+		return r, fmt.Errorf("want START-END:KIND[:PARAM]")
+	}
+	window := strings.SplitN(fields[0], "-", 2)
+	if len(window) != 2 {
+		return r, fmt.Errorf("window %q: want START-END", fields[0])
+	}
+	var err error
+	if r.Start, err = parseOffset(window[0]); err != nil {
+		return r, err
+	}
+	if r.End, err = parseOffset(window[1]); err != nil {
+		return r, err
+	}
+	if r.End <= r.Start {
+		return r, fmt.Errorf("window end %s not after start %s", r.End, r.Start)
+	}
+
+	r.Kind = Kind(fields[1])
+	param := ""
+	if len(fields) > 2 {
+		// Latency durations like "1m30s" contain no colons, so any extra
+		// fields beyond the kind are a single param.
+		param = strings.Join(fields[2:], ":")
+	}
+	switch r.Kind {
+	case KindLatency:
+		if param == "" {
+			return r, fmt.Errorf("latency needs a duration param, e.g. latency:200ms")
+		}
+		if r.Latency, err = time.ParseDuration(param); err != nil || r.Latency <= 0 {
+			return r, fmt.Errorf("latency %q: want a positive duration", param)
+		}
+	case KindHTTP:
+		if param == "" {
+			return r, fmt.Errorf("http needs a status code param, e.g. http:503")
+		}
+		if r.Code, err = strconv.Atoi(param); err != nil || r.Code < 400 || r.Code > 599 {
+			return r, fmt.Errorf("http code %q: want 400..599", param)
+		}
+	case KindReset, KindTruncate, KindSlowloris, KindBlackhole:
+		if param != "" {
+			return r, fmt.Errorf("%s takes no param", r.Kind)
+		}
+	default:
+		return r, fmt.Errorf("unknown fault kind %q", r.Kind)
+	}
+	return r, nil
+}
+
+// parseOffset accepts a Go duration or a bare number of seconds.
+func parseOffset(s string) (time.Duration, error) {
+	if secs, err := strconv.ParseFloat(s, 64); err == nil {
+		if secs < 0 {
+			return 0, fmt.Errorf("offset %q: negative", s)
+		}
+		return time.Duration(secs * float64(time.Second)), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("offset %q: want seconds or a duration", s)
+	}
+	return d, nil
+}

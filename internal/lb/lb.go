@@ -35,6 +35,15 @@ type Options struct {
 	// replayable across retries).
 	MaxBody int64
 
+	// AdminToken enables the mutating /admin/* endpoints (replica
+	// membership, rollout state) for requests bearing
+	// "Authorization: Bearer <token>". Empty disables the admin API.
+	AdminToken string
+	// DrainTimeout bounds how long a remove waits for a replica's in-flight
+	// requests to finish before giving up (the replica stays drained but
+	// remains a member so the operator can retry or readmit).
+	DrainTimeout time.Duration
+
 	// Probe knobs; see the defaults in probe.go.
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
@@ -44,9 +53,10 @@ type Options struct {
 
 // Front-tier defaults.
 const (
-	DefaultRetries     = 2
-	DefaultMaxInFlight = 64
-	DefaultLBTimeout   = 60 * time.Second
+	DefaultRetries      = 2
+	DefaultMaxInFlight  = 64
+	DefaultLBTimeout    = 60 * time.Second
+	DefaultDrainTimeout = 30 * time.Second
 )
 
 func (o Options) withDefaults() Options {
@@ -67,6 +77,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxBody <= 0 {
 		o.MaxBody = serve.DefaultMaxBody
 	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = DefaultDrainTimeout
+	}
 	if o.ProbeInterval <= 0 {
 		o.ProbeInterval = DefaultProbeInterval
 	}
@@ -83,13 +96,22 @@ func (o Options) withDefaults() Options {
 }
 
 // LB is the consistent-hashing front tier over a fleet of gendt-serve
-// replicas.
+// replicas. Membership is dynamic: the ring is an immutable value behind an
+// atomic pointer (readers never lock), and the replica state map is guarded
+// by a read-write mutex. Membership mutations are serialized by memberMu
+// and swap in a freshly built ring, so the minimal-redistribution property
+// of the immutable ring holds across live add/remove.
 type LB struct {
-	opt  Options
-	ring *Ring
+	opt Options
 
-	replicas    map[string]*replica // keyed by base URL
-	client      *http.Client        // forwarding
+	ringp atomic.Pointer[Ring]
+
+	repMu    sync.RWMutex
+	replicas map[string]*replica // keyed by base URL
+
+	memberMu sync.Mutex // serializes membership changes and Start
+
+	client      *http.Client // forwarding
 	probeClient *http.Client
 
 	start    time.Time
@@ -102,8 +124,14 @@ type LB struct {
 	retries  atomic.Int64
 	sheds    atomic.Int64
 	upstream atomic.Int64 // requests failed after exhausting candidates
+	canceled atomic.Int64 // forwards abandoned because the client went away
 	latency  serve.Histogram
 
+	rollMu  sync.Mutex
+	rollout RolloutState
+
+	started  atomic.Bool
+	probeCtx context.Context
 	stopOnce sync.Once
 	stop     context.CancelFunc
 	probes   sync.WaitGroup
@@ -119,11 +147,12 @@ func New(opt Options) (*LB, error) {
 	}
 	lb := &LB{
 		opt:      opt,
-		ring:     NewRing(opt.Replicas, opt.VNodes),
 		replicas: make(map[string]*replica, len(opt.Replicas)),
 		start:    time.Now(),
+		rollout:  RolloutState{Phase: RolloutIdle},
 	}
-	for _, name := range lb.ring.Members() {
+	lb.ringp.Store(NewRing(opt.Replicas, opt.VNodes))
+	for _, name := range lb.Ring().Members() {
 		if _, dup := lb.replicas[name]; dup {
 			return nil, fmt.Errorf("lb: duplicate replica %q", name)
 		}
@@ -144,23 +173,62 @@ func New(opt Options) (*LB, error) {
 	lb.mux.HandleFunc(serve.EndpointModels, lb.handleModels)
 	lb.mux.HandleFunc(serve.EndpointHealth, lb.handleHealth)
 	lb.mux.HandleFunc(serve.EndpointVars, lb.handleVars)
+	lb.mux.HandleFunc(EndpointAdminReplicas, lb.handleAdminReplicas)
+	lb.mux.HandleFunc(EndpointAdminRollout, lb.handleAdminRollout)
 	return lb, nil
 }
 
 // Handler returns the root handler.
 func (lb *LB) Handler() http.Handler { return lb.mux }
 
-// Start launches one probe loop per replica. Close stops them.
-func (lb *LB) Start() {
-	ctx, cancel := context.WithCancel(context.Background())
-	lb.stop = cancel
-	for _, r := range lb.replicas {
-		lb.probes.Add(1)
-		go func(r *replica) {
-			defer lb.probes.Done()
-			lb.probeLoop(ctx, r)
-		}(r)
+// Ring returns the current (immutable) hash ring.
+func (lb *LB) Ring() *Ring { return lb.ringp.Load() }
+
+// replica resolves a member's state, nil if unknown.
+func (lb *LB) replica(name string) *replica {
+	lb.repMu.RLock()
+	defer lb.repMu.RUnlock()
+	return lb.replicas[name]
+}
+
+// replicaSnapshot copies the current replica state map.
+func (lb *LB) replicaSnapshot() map[string]*replica {
+	lb.repMu.RLock()
+	defer lb.repMu.RUnlock()
+	out := make(map[string]*replica, len(lb.replicas))
+	for k, v := range lb.replicas {
+		out[k] = v
 	}
+	return out
+}
+
+// Start launches one probe loop per replica. Close stops them. Replicas
+// added later get their probe loop on admission.
+func (lb *LB) Start() {
+	lb.memberMu.Lock()
+	defer lb.memberMu.Unlock()
+	if lb.started.Load() {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	lb.probeCtx = ctx
+	lb.stop = cancel
+	lb.started.Store(true)
+	for _, r := range lb.replicaSnapshot() {
+		lb.startProbe(r)
+	}
+}
+
+// startProbe launches r's probe loop (caller holds memberMu; Start must
+// have run).
+func (lb *LB) startProbe(r *replica) {
+	pctx, cancel := context.WithCancel(lb.probeCtx)
+	r.stopProbe = cancel
+	lb.probes.Add(1)
+	go func() {
+		defer lb.probes.Done()
+		lb.probeLoop(pctx, r)
+	}()
 }
 
 // StartDrain flips the front tier's own /healthz to failing so an outer
@@ -179,8 +247,8 @@ func (lb *LB) Close() {
 
 // Replica exposes one replica's state for tests and the smoke harness.
 func (lb *LB) Replica(name string) (healthy bool, ejections int64, ok bool) {
-	r, found := lb.replicas[name]
-	if !found {
+	r := lb.replica(name)
+	if r == nil {
 		return false, 0, false
 	}
 	return r.healthy.Load(), r.ejections.Load(), true
@@ -232,7 +300,8 @@ func (lb *LB) routeGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := RouteKey(req.Model, req.Route, req.RouteCSV)
-	seq := lb.ring.Sequence(key, len(lb.replicas))
+	ring := lb.Ring()
+	seq := ring.Sequence(key, ring.Len())
 	attempts := 0
 	maxAttempts := lb.opt.Retries + 1
 	sawCapFull := false
@@ -242,8 +311,8 @@ func (lb *LB) routeGenerate(w http.ResponseWriter, r *http.Request) {
 		if attempts >= maxAttempts {
 			break
 		}
-		rep := lb.replicas[name]
-		if !rep.routable(time.Now()) {
+		rep := lb.replica(name)
+		if rep == nil || !rep.routable(time.Now()) {
 			continue
 		}
 		if !acquire(&rep.inFlight, int64(lb.opt.MaxInFlight)) {
@@ -301,14 +370,18 @@ func (lb *LB) forward(ctx context.Context, w http.ResponseWriter, rep *replica, 
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := lb.client.Do(req)
 	if err != nil {
-		// Transport-level failure: connection refused, reset, timeout. Feed
-		// the ejection state machine so a dead replica leaves the ring fast.
-		rep.noteFail(lb.opt.FailAfter)
+		// A dead request context means the CLIENT went away (closed the
+		// connection or canceled) — the replica did nothing wrong, so a slow
+		// client must not feed the ejection state machine. Only a transport
+		// failure with a live client context (connection refused/reset, or
+		// lb.client's own per-attempt Timeout firing — an upstream timeout)
+		// counts against the replica.
 		if ctx.Err() != nil {
-			// The client gave up; nothing to relay and no point retrying.
+			lb.canceled.Add(1)
 			lbError(w, http.StatusGatewayTimeout, "client context done: "+ctx.Err().Error())
 			return true, ""
 		}
+		rep.noteFail(lb.opt.FailAfter)
 		return false, err.Error()
 	}
 	defer resp.Body.Close()
@@ -368,9 +441,9 @@ func (lb *LB) handleModels(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	now := time.Now()
-	for _, name := range lb.ring.Members() {
-		rep := lb.replicas[name]
-		if !rep.routable(now) {
+	for _, name := range lb.Ring().Members() {
+		rep := lb.replica(name)
+		if rep == nil || !rep.routable(now) {
 			continue
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, name+serve.EndpointModels, nil)
@@ -379,7 +452,9 @@ func (lb *LB) handleModels(w http.ResponseWriter, r *http.Request) {
 		}
 		resp, err := lb.client.Do(req)
 		if err != nil {
-			rep.noteFail(lb.opt.FailAfter)
+			if r.Context().Err() == nil {
+				rep.noteFail(lb.opt.FailAfter)
+			}
 			continue
 		}
 		relay(w, resp)
@@ -392,8 +467,9 @@ func (lb *LB) handleModels(w http.ResponseWriter, r *http.Request) {
 
 // ReplicaHealth is one replica's state in the /healthz response.
 type ReplicaHealth struct {
-	Name    string `json:"name"`
-	Healthy bool   `json:"healthy"`
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"` // admin-held out of routing
 }
 
 // HealthResponse is the front tier's /healthz body.
@@ -406,12 +482,18 @@ type HealthResponse struct {
 
 func (lb *LB) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{Status: "ok", UptimeS: time.Since(lb.start).Seconds()}
-	for _, name := range lb.ring.Members() {
-		h := lb.replicas[name].healthy.Load()
+	for _, name := range lb.Ring().Members() {
+		rep := lb.replica(name)
+		if rep == nil {
+			continue
+		}
+		h := rep.healthy.Load()
 		if h {
 			resp.Healthy++
 		}
-		resp.Replicas = append(resp.Replicas, ReplicaHealth{Name: name, Healthy: h})
+		resp.Replicas = append(resp.Replicas, ReplicaHealth{
+			Name: name, Healthy: h, Draining: rep.hold.Load(),
+		})
 	}
 	code := http.StatusOK
 	switch {
@@ -430,6 +512,8 @@ func (lb *LB) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // ReplicaSnap is one replica's /debug/vars entry.
 type ReplicaSnap struct {
 	Healthy    bool                `json:"healthy"`
+	Draining   bool                `json:"draining,omitempty"`
+	Member     bool                `json:"member"` // still on the ring
 	InFlight   int64               `json:"in_flight"`
 	Requests   int64               `json:"requests"`
 	Errors     int64               `json:"errors"`
@@ -450,12 +534,14 @@ type VarsSnap struct {
 	Retries  int64                  `json:"retries"`
 	Sheds    int64                  `json:"sheds"`
 	Upstream int64                  `json:"upstream_failures"`
+	Canceled int64                  `json:"client_cancels"`
 	Latency  serve.HistogramSnap    `json:"latency"`
+	Rollout  RolloutState           `json:"rollout"`
 	Replicas map[string]ReplicaSnap `json:"replicas"`
 }
 
-// Snapshot renders the balancer's metrics (the /debug/vars handler and the
-// smoke harness read it).
+// Snapshot renders the balancer's metrics (the /debug/vars handler, the
+// smoke harness, and the rollout error-budget watcher read it).
 func (lb *LB) Snapshot() VarsSnap {
 	s := VarsSnap{
 		UptimeS:  time.Since(lb.start).Seconds(),
@@ -464,12 +550,21 @@ func (lb *LB) Snapshot() VarsSnap {
 		Retries:  lb.retries.Load(),
 		Sheds:    lb.sheds.Load(),
 		Upstream: lb.upstream.Load(),
+		Canceled: lb.canceled.Load(),
 		Latency:  lb.latency.Snapshot(),
-		Replicas: make(map[string]ReplicaSnap, len(lb.replicas)),
+		Rollout:  lb.RolloutState(),
 	}
-	for name, r := range lb.replicas {
+	members := make(map[string]bool)
+	for _, m := range lb.Ring().Members() {
+		members[m] = true
+	}
+	reps := lb.replicaSnapshot()
+	s.Replicas = make(map[string]ReplicaSnap, len(reps))
+	for name, r := range reps {
 		s.Replicas[name] = ReplicaSnap{
 			Healthy:    r.healthy.Load(),
+			Draining:   r.hold.Load(),
+			Member:     members[name],
 			InFlight:   r.inFlight.Load(),
 			Requests:   r.requests.Load(),
 			Errors:     r.errors.Load(),

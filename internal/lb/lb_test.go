@@ -158,7 +158,7 @@ func TestRetryOn503DrainingFailsOver(t *testing.T) {
 	defer lbSrv.Close()
 
 	a.draining.Store(true)
-	body := routeBodyOwnedBy(t, balancer.ring, a.srv.URL)
+	body := routeBodyOwnedBy(t, balancer.Ring(), a.srv.URL)
 	resp, got := post(t, lbSrv, body)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, got)
@@ -192,7 +192,7 @@ func TestConnectErrorFailsOverAndEjects(t *testing.T) {
 	lbSrv := httptest.NewServer(balancer.Handler())
 	defer lbSrv.Close()
 
-	body := routeBodyOwnedBy(t, balancer.ring, deadURL)
+	body := routeBodyOwnedBy(t, balancer.Ring(), deadURL)
 	resp, got := post(t, lbSrv, body)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, got)
@@ -246,7 +246,7 @@ func TestShedAtInFlightCap(t *testing.T) {
 
 	// Wait until the slot is actually held.
 	deadline := time.Now().Add(2 * time.Second)
-	for balancer.replicas[f.srv.URL].inFlight.Load() == 0 {
+	for balancer.replica(f.srv.URL).inFlight.Load() == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("first request never acquired the in-flight slot")
 		}

@@ -1,0 +1,495 @@
+package lb
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gendt/internal/serve"
+)
+
+// adminPost issues an authenticated admin request and returns status + body.
+func adminPost(t *testing.T, lbSrv *httptest.Server, path, token string, body any) (int, string) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, lbSrv.URL+path, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(got)
+}
+
+func TestAdminAuthRequired(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	req := AdminReplicaRequest{Action: "drain", Replica: a.srv.URL}
+
+	// No token configured: mutations are hard-disabled.
+	balancer := newLB(t, Options{}, a)
+	lbSrv := httptest.NewServer(balancer.Handler())
+	defer lbSrv.Close()
+	if code, body := adminPost(t, lbSrv, EndpointAdminReplicas, "whatever", req); code != http.StatusForbidden {
+		t.Fatalf("no-token LB accepted mutation: %d %s", code, body)
+	}
+
+	// Token configured: wrong or missing bearer is rejected, right one works.
+	secured := newLB(t, Options{AdminToken: "s3cret"}, a)
+	secSrv := httptest.NewServer(secured.Handler())
+	defer secSrv.Close()
+	if code, _ := adminPost(t, secSrv, EndpointAdminReplicas, "", req); code != http.StatusUnauthorized {
+		t.Fatalf("missing token accepted: %d", code)
+	}
+	if code, _ := adminPost(t, secSrv, EndpointAdminReplicas, "wrong", req); code != http.StatusUnauthorized {
+		t.Fatalf("wrong token accepted: %d", code)
+	}
+	if code, body := adminPost(t, secSrv, EndpointAdminReplicas, "s3cret", req); code != http.StatusOK {
+		t.Fatalf("valid token rejected: %d %s", code, body)
+	}
+	// GET membership stays open.
+	resp, err := http.Get(secSrv.URL + EndpointAdminReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET membership: %d", resp.StatusCode)
+	}
+}
+
+func TestAddReplicaRoutesAndMinimallyRedistributes(t *testing.T) {
+	a, b, c := newFakeReplica(t, "a"), newFakeReplica(t, "b"), newFakeReplica(t, "c")
+	balancer := newLB(t, Options{AdminToken: "t"}, a, b)
+	lbSrv := httptest.NewServer(balancer.Handler())
+	defer lbSrv.Close()
+
+	before := balancer.Ring()
+	keys := make([]uint64, 4096)
+	owners := make([]string, len(keys))
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+		owners[i] = before.Lookup(keys[i])
+	}
+
+	if code, body := adminPost(t, lbSrv, EndpointAdminReplicas, "t",
+		AdminReplicaRequest{Action: "add", Replica: c.srv.URL}); code != http.StatusOK {
+		t.Fatalf("add: %d %s", code, body)
+	}
+	after := balancer.Ring()
+	if after.Len() != 3 {
+		t.Fatalf("ring size %d after add, want 3", after.Len())
+	}
+	// Minimal redistribution: every moved key must have moved TO the
+	// newcomer, never between the incumbents.
+	moved := 0
+	for i, k := range keys {
+		now := after.Lookup(k)
+		if now != owners[i] {
+			moved++
+			if now != c.srv.URL {
+				t.Fatalf("key %d moved %s -> %s, not to the added replica", k, owners[i], now)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("added replica owns no keys")
+	}
+
+	// The newcomer actually takes traffic.
+	body := routeBodyOwnedBy(t, after, c.srv.URL)
+	resp, got := post(t, lbSrv, body)
+	if resp.StatusCode != http.StatusOK || got != `{"backend":"c"}` {
+		t.Fatalf("routed to added replica: %d %s", resp.StatusCode, got)
+	}
+
+	// Duplicate add conflicts.
+	if code, _ := adminPost(t, lbSrv, EndpointAdminReplicas, "t",
+		AdminReplicaRequest{Action: "add", Replica: c.srv.URL}); code != http.StatusConflict {
+		t.Fatalf("duplicate add: %d, want 409", code)
+	}
+}
+
+func TestDrainReadmitCycle(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	balancer := newLB(t, Options{AdminToken: "t", Retries: 1}, a, b)
+	lbSrv := httptest.NewServer(balancer.Handler())
+	defer lbSrv.Close()
+
+	body := routeBodyOwnedBy(t, balancer.Ring(), a.srv.URL)
+	if resp, got := post(t, lbSrv, body); resp.StatusCode != http.StatusOK || got != `{"backend":"a"}` {
+		t.Fatalf("pre-drain: %d %s", resp.StatusCode, got)
+	}
+
+	if code, _ := adminPost(t, lbSrv, EndpointAdminReplicas, "t",
+		AdminReplicaRequest{Action: "drain", Replica: a.srv.URL}); code != http.StatusOK {
+		t.Fatalf("drain: %d", code)
+	}
+	// a is held: its traffic fails over to b, but a is still a ring member.
+	if resp, got := post(t, lbSrv, body); resp.StatusCode != http.StatusOK || got != `{"backend":"b"}` {
+		t.Fatalf("during drain: %d %s, want failover to b", resp.StatusCode, got)
+	}
+	if balancer.Ring().Len() != 2 {
+		t.Fatal("drain changed ring membership")
+	}
+	snap := balancer.Snapshot()
+	if !snap.Replicas[a.srv.URL].Draining {
+		t.Fatal("drained replica not reported draining in /debug/vars")
+	}
+
+	if code, _ := adminPost(t, lbSrv, EndpointAdminReplicas, "t",
+		AdminReplicaRequest{Action: "readmit", Replica: a.srv.URL}); code != http.StatusOK {
+		t.Fatalf("readmit: %d", code)
+	}
+	if resp, got := post(t, lbSrv, body); resp.StatusCode != http.StatusOK || got != `{"backend":"a"}` {
+		t.Fatalf("post-readmit: %d %s, want a again", resp.StatusCode, got)
+	}
+}
+
+// TestRemoveDrainsInFlight is the zero-drop property: a remove issued while
+// the replica holds an in-flight request must wait for it, the request must
+// complete successfully, and only then does the replica leave the fleet.
+func TestRemoveDrainsInFlight(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	a.blockOn.Store(true)
+	balancer := newLB(t, Options{AdminToken: "t"}, a, b)
+	lbSrv := httptest.NewServer(balancer.Handler())
+	defer lbSrv.Close()
+
+	body := routeBodyOwnedBy(t, balancer.Ring(), a.srv.URL)
+	type result struct {
+		code int
+		body string
+	}
+	inFlight := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(lbSrv.URL+serve.EndpointGenerate, "application/json", bytes.NewReader(body))
+		if err != nil {
+			inFlight <- result{0, err.Error()}
+			return
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		inFlight <- result{resp.StatusCode, string(raw)}
+	}()
+
+	// Wait for the request to be parked inside a.
+	deadline := time.Now().Add(2 * time.Second)
+	for balancer.replica(a.srv.URL).inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached replica a")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	removed := make(chan struct{})
+	go func() {
+		defer close(removed)
+		if err := balancer.RemoveReplica(context.Background(), a.srv.URL); err != nil {
+			t.Errorf("remove: %v", err)
+		}
+	}()
+
+	// The remove must not complete while the request is parked.
+	select {
+	case <-removed:
+		t.Fatal("remove returned with a request still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(a.block) // let the parked request finish
+	select {
+	case r := <-inFlight:
+		if r.code != http.StatusOK || r.body != `{"backend":"a"}` {
+			t.Fatalf("in-flight request dropped during remove: %d %s", r.code, r.body)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case <-removed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("remove never completed after drain")
+	}
+
+	if balancer.Ring().Len() != 1 {
+		t.Fatalf("ring size %d after remove, want 1", balancer.Ring().Len())
+	}
+	if balancer.replica(a.srv.URL) != nil {
+		t.Fatal("removed replica still in state map")
+	}
+	// Its traffic now lands on b.
+	if resp, got := post(t, lbSrv, body); resp.StatusCode != http.StatusOK || got != `{"backend":"b"}` {
+		t.Fatalf("post-remove: %d %s", resp.StatusCode, got)
+	}
+}
+
+func TestRemoveLastReplicaRefused(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	balancer := newLB(t, Options{AdminToken: "t"}, a)
+	if err := balancer.RemoveReplica(context.Background(), a.srv.URL); err == nil {
+		t.Fatal("removing the last replica succeeded")
+	}
+}
+
+func TestRemoveTimeoutKeepsMember(t *testing.T) {
+	a, b := newFakeReplica(t, "a"), newFakeReplica(t, "b")
+	a.blockOn.Store(true)
+	balancer := newLB(t, Options{AdminToken: "t"}, a, b)
+	lbSrv := httptest.NewServer(balancer.Handler())
+	defer lbSrv.Close()
+
+	body := routeBodyOwnedBy(t, balancer.Ring(), a.srv.URL)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Post(lbSrv.URL+serve.EndpointGenerate, "application/json", bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for balancer.replica(a.srv.URL).inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached replica a")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := balancer.RemoveReplica(ctx, a.srv.URL); err == nil {
+		t.Fatal("remove succeeded despite a parked in-flight request")
+	}
+	// The replica stays a drained member: state intact, off the ring, so
+	// the operator can readmit (which must also rejoin it to the ring... it
+	// never left the map, but the ring was already rebuilt without it —
+	// that is the documented drained-but-member state).
+	if balancer.replica(a.srv.URL) == nil {
+		t.Fatal("timed-out remove deleted the replica state")
+	}
+	close(a.block)
+	<-done
+}
+
+// TestConcurrentMembershipChurn hammers add/remove/drain/readmit from
+// several goroutines while client traffic flows, under -race. Throughout,
+// every response must be a 200 from a current member, and at the end the
+// ring must equal the surviving member set with the minimal-redistribution
+// property still holding for a fresh add.
+func TestConcurrentMembershipChurn(t *testing.T) {
+	// a core fleet that never leaves, plus churners that come and go.
+	core := []*fakeReplica{newFakeReplica(t, "core0"), newFakeReplica(t, "core1")}
+	churn := []*fakeReplica{newFakeReplica(t, "ch0"), newFakeReplica(t, "ch1"), newFakeReplica(t, "ch2")}
+	balancer := newLB(t, Options{AdminToken: "t", Retries: 2}, core...)
+	lbSrv := httptest.NewServer(balancer.Handler())
+	defer lbSrv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var fails atomic.Int64
+
+	// Churners: each goroutine cycles its own replica through
+	// add → drain → readmit → remove.
+	for _, f := range churn {
+		wg.Add(1)
+		go func(f *fakeReplica) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := balancer.AddReplica(f.srv.URL); err != nil {
+					t.Errorf("add %s: %v", f.id, err)
+					return
+				}
+				if i%2 == 0 {
+					if err := balancer.DrainReplica(f.srv.URL); err != nil {
+						t.Errorf("drain %s: %v", f.id, err)
+						return
+					}
+					if err := balancer.ReadmitReplica(f.srv.URL); err != nil {
+						t.Errorf("readmit %s: %v", f.id, err)
+						return
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				err := balancer.RemoveReplica(ctx, f.srv.URL)
+				cancel()
+				if err != nil {
+					t.Errorf("remove %s: %v", f.id, err)
+					return
+				}
+			}
+		}(f)
+	}
+
+	// Clients: distinct routes against the moving fleet.
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(lbSrv.URL+serve.EndpointGenerate, "application/json",
+					bytes.NewReader(routeBody(c*1000+i%64)))
+				if err != nil {
+					fails.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fails.Add(1)
+				}
+			}
+		}(c)
+	}
+
+	time.Sleep(400 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := fails.Load(); n > 0 {
+		t.Fatalf("%d client requests failed during membership churn", n)
+	}
+	// The fleet converged back to the core: every churner is gone.
+	members := balancer.Ring().Members()
+	if len(members) != len(core) {
+		t.Fatalf("ring has %d members after churn, want %d (%v)", len(members), len(core), members)
+	}
+	// And the minimal-redistribution property still holds live.
+	before := balancer.Ring()
+	ownersBefore := make(map[uint64]string)
+	for i := 0; i < 2048; i++ {
+		k := uint64(i) * 0x9e3779b97f4a7c15
+		ownersBefore[k] = before.Lookup(k)
+	}
+	extra := newFakeReplica(t, "extra")
+	if err := balancer.AddReplica(extra.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	after := balancer.Ring()
+	for k, owner := range ownersBefore {
+		if now := after.Lookup(k); now != owner && now != extra.srv.URL {
+			t.Fatalf("key %d moved between incumbents (%s -> %s) on post-churn add", k, owner, now)
+		}
+	}
+}
+
+// TestClientCancelDoesNotEject is the regression test for the forward-path
+// ctx fix: a client that gives up mid-request must not count as a replica
+// failure — with FailAfter=1 a single miscounted cancel would eject.
+func TestClientCancelDoesNotEject(t *testing.T) {
+	f := newFakeReplica(t, "a")
+	f.blockOn.Store(true)
+	defer close(f.block)
+	balancer := newLB(t, Options{FailAfter: 1}, f)
+	lbSrv := httptest.NewServer(balancer.Handler())
+	defer lbSrv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		lbSrv.URL+serve.EndpointGenerate, bytes.NewReader(routeBody(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+
+	// Wait until the request is parked in the replica, then walk away.
+	deadline := time.Now().Add(2 * time.Second)
+	for balancer.replica(f.srv.URL).inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the replica")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request reported success")
+	}
+
+	// Give the forward path a moment to unwind, then assert the replica
+	// was NOT penalized: still healthy, zero ejections, cancel counted.
+	deadline = time.Now().Add(2 * time.Second)
+	for balancer.Snapshot().Canceled == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("client cancel never accounted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	healthy, ejections, ok := balancer.Replica(f.srv.URL)
+	if !ok || !healthy || ejections != 0 {
+		t.Fatalf("client cancel penalized the replica: healthy=%v ejections=%d", healthy, ejections)
+	}
+}
+
+func TestRolloutStateRoundTrip(t *testing.T) {
+	a := newFakeReplica(t, "a")
+	balancer := newLB(t, Options{AdminToken: "t"}, a)
+	lbSrv := httptest.NewServer(balancer.Handler())
+	defer lbSrv.Close()
+
+	if s := balancer.RolloutState(); s.Phase != RolloutIdle {
+		t.Fatalf("initial rollout phase %q, want idle", s.Phase)
+	}
+	want := RolloutState{
+		Phase: RolloutRolledBack, Step: "gate", Model: "cand.gob",
+		Target: a.srv.URL, Promoted: 1, Total: 3, Reason: "gate failed: dist/ks",
+	}
+	if code, body := adminPost(t, lbSrv, EndpointAdminRollout, "t", want); code != http.StatusOK {
+		t.Fatalf("post rollout state: %d %s", code, body)
+	}
+	if code, _ := adminPost(t, lbSrv, EndpointAdminRollout, "t",
+		RolloutState{Phase: "bogus"}); code != http.StatusBadRequest {
+		t.Fatal("bogus phase accepted")
+	}
+
+	// Readable via GET /admin/rollout and /debug/vars.
+	resp, err := http.Get(lbSrv.URL + serve.EndpointVars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars VarsSnap
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	got := vars.Rollout
+	if got.Phase != want.Phase || got.Reason != want.Reason || got.Promoted != want.Promoted || got.UpdatedUnix == 0 {
+		t.Fatalf("rollout state in /debug/vars = %+v, want %+v", got, want)
+	}
+}

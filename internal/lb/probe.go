@@ -29,8 +29,11 @@ type replica struct {
 	name string // base URL, e.g. http://127.0.0.1:8081
 
 	healthy     atomic.Bool
+	hold        atomic.Bool // admin drain: held out of routing regardless of health
 	inFlight    atomic.Int64
 	availableAt atomic.Int64 // unixnano; Retry-After backoff gate
+
+	stopProbe context.CancelFunc // cancels this replica's probe loop; set by startProbe
 
 	mu         sync.Mutex // guards the consecutive-outcome counters
 	consecFail int
@@ -48,9 +51,10 @@ type replica struct {
 }
 
 // routable reports whether the replica should receive traffic now: healthy
-// per the prober and past any Retry-After backoff window.
+// per the prober, not admin-drained, and past any Retry-After backoff
+// window.
 func (r *replica) routable(now time.Time) bool {
-	return r.healthy.Load() && now.UnixNano() >= r.availableAt.Load()
+	return r.healthy.Load() && !r.hold.Load() && now.UnixNano() >= r.availableAt.Load()
 }
 
 // backoff takes the replica out of routing for d without ejecting it —

@@ -77,6 +77,28 @@ func pointHash(base, v uint64) uint64 {
 // Members returns the replica names on the ring, sorted.
 func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
 
+// Len returns the number of replicas on the ring.
+func (r *Ring) Len() int { return len(r.members) }
+
+// With returns a new ring over this ring's members plus name (vnodes
+// preserved per point density). Because each replica's points are
+// independent, every key not claimed by the newcomer keeps its owner.
+func (r *Ring) With(name string, vnodes int) *Ring {
+	return NewRing(append(r.Members(), name), vnodes)
+}
+
+// Without returns a new ring over this ring's members minus name. Only the
+// keys the removed replica owned change owner.
+func (r *Ring) Without(name string, vnodes int) *Ring {
+	members := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != name {
+			members = append(members, m)
+		}
+	}
+	return NewRing(members, vnodes)
+}
+
 // Lookup returns the replica owning key, or "" on an empty ring.
 func (r *Ring) Lookup(key uint64) string {
 	if len(r.points) == 0 {

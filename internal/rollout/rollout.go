@@ -1,0 +1,456 @@
+// Package rollout promotes a candidate model across a gendt fleet one
+// replica at a time, gated by the statistical validation suite, with
+// automatic rollback on any failure.
+//
+// The controller is external to both the balancer and the replicas: it
+// drives the LB's /admin/replicas membership API to take each replica out
+// of rotation, the replica's /admin/reload to swap weights, and the LB's
+// /admin/rollout endpoint to publish progress so operators (and CI
+// assertions) can watch the fleet's /debug/vars. The promotion step for one
+// replica is:
+//
+//	drain → reload → fingerprint check → statistical gate → readmit →
+//	error-budget window
+//
+// Any failure halts the rollout, restores the previous model file, reloads
+// every replica that already picked up the candidate, readmits everything,
+// and reports phase "rolled_back" with the halt reason.
+package rollout
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"gendt/internal/ckpt"
+	"gendt/internal/lb"
+	"gendt/internal/serve"
+)
+
+// Rollout defaults.
+const (
+	DefaultBudgetWindow      = 3 * time.Second
+	DefaultErrBudget         = 0.02
+	DefaultP99Factor         = 3.0
+	DefaultMinWindowRequests = 10
+	DefaultDrainTimeout      = 30 * time.Second
+)
+
+// Options configures one rollout. LB, AdminToken, Replicas, ModelPath and
+// Candidate are required; zero values elsewhere take the defaults above.
+type Options struct {
+	// LB is the balancer's base URL (its admin API drives membership and
+	// receives rollout state).
+	LB string
+	// AdminToken authenticates against the LB's mutating admin endpoints.
+	AdminToken string
+	// Replicas are the replica base URLs in promotion order. They must
+	// match the names the LB knows them by (its /debug/vars keys).
+	Replicas []string
+
+	// ModelPath is the model file every replica serves from (the path in
+	// its -model flag); the rollout atomically replaces it with Candidate
+	// so a replica's /admin/reload picks the new weights up.
+	ModelPath string
+	// Candidate is the model file being promoted.
+	Candidate string
+	// Backup is where the pre-rollout ModelPath contents are saved for
+	// rollback. Default ModelPath + ".prev".
+	Backup string
+	// Model is the registered model name on the replicas (empty = their
+	// single-model default).
+	Model string
+
+	// WantFingerprint, when non-empty, is the hex weight fingerprint the
+	// replica must report on /v1/models after reload — the cheap proof the
+	// swap actually happened before the statistical gate runs.
+	WantFingerprint string
+
+	// Gate validates one freshly reloaded replica (gendt-rollout wires the
+	// remote statistical suite here). Nil skips the gate.
+	Gate func(ctx context.Context, replica string) error
+
+	// BudgetWindow is how long a readmitted replica takes fleet traffic
+	// before the error budget is checked. <0 disables the window.
+	BudgetWindow time.Duration
+	// ErrBudget is the absolute error-rate headroom over the pre-rollout
+	// baseline the post-readmit window is allowed.
+	ErrBudget float64
+	// P99Factor caps the window's p99 latency at this multiple of the
+	// pre-rollout baseline p99.
+	P99Factor float64
+	// MinWindowRequests is the smallest window sample that can breach the
+	// budget; below it the window trivially passes (no traffic, no signal).
+	MinWindowRequests int64
+	// DrainTimeout bounds the wait for a draining replica's in-flight
+	// count to reach zero.
+	DrainTimeout time.Duration
+
+	// Client is the HTTP client for every call. Nil uses a 30s-timeout
+	// default.
+	Client *http.Client
+	// Sleep is the budget-window wait, injectable for tests. Nil sleeps.
+	Sleep func(d time.Duration)
+	// Logf receives progress lines; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Backup == "" {
+		o.Backup = o.ModelPath + ".prev"
+	}
+	if o.BudgetWindow == 0 {
+		o.BudgetWindow = DefaultBudgetWindow
+	}
+	if o.ErrBudget <= 0 {
+		o.ErrBudget = DefaultErrBudget
+	}
+	if o.P99Factor <= 0 {
+		o.P99Factor = DefaultP99Factor
+	}
+	if o.MinWindowRequests <= 0 {
+		o.MinWindowRequests = DefaultMinWindowRequests
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = DefaultDrainTimeout
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Controller runs one rollout.
+type Controller struct {
+	opt      Options
+	baseline budgetBaseline
+}
+
+// New validates the required options and returns a controller.
+func New(opt Options) (*Controller, error) {
+	switch {
+	case opt.LB == "":
+		return nil, fmt.Errorf("rollout: Options.LB is required")
+	case opt.AdminToken == "":
+		return nil, fmt.Errorf("rollout: Options.AdminToken is required")
+	case len(opt.Replicas) == 0:
+		return nil, fmt.Errorf("rollout: Options.Replicas is required")
+	case opt.ModelPath == "":
+		return nil, fmt.Errorf("rollout: Options.ModelPath is required")
+	case opt.Candidate == "":
+		return nil, fmt.Errorf("rollout: Options.Candidate is required")
+	}
+	return &Controller{opt: opt.withDefaults()}, nil
+}
+
+// Run executes the rollout. A nil error means every replica was promoted
+// and the fleet serves the candidate; a non-nil error means the rollout
+// halted, the previous model was restored fleet-wide, and the error carries
+// the halt reason (the same reason published to the LB's rollout state).
+func (c *Controller) Run(ctx context.Context) error {
+	o := c.opt
+
+	prev, err := os.ReadFile(o.ModelPath)
+	if err != nil {
+		return fmt.Errorf("rollout: read current model: %w", err)
+	}
+	cand, err := os.ReadFile(o.Candidate)
+	if err != nil {
+		return fmt.Errorf("rollout: read candidate: %w", err)
+	}
+	if err := ckpt.WriteFileAtomic(ckpt.OSFS{}, o.Backup, prev); err != nil {
+		return fmt.Errorf("rollout: write backup: %w", err)
+	}
+	o.Logf("rollout: backed up %s (%d bytes) to %s", o.ModelPath, len(prev), o.Backup)
+
+	base, err := c.lbVars(ctx)
+	if err != nil {
+		return fmt.Errorf("rollout: baseline /debug/vars: %w", err)
+	}
+	c.baseline = baselineFrom(base)
+	o.Logf("rollout: baseline err-rate %.4f, p99 %.0fms over %d requests",
+		c.baseline.errRate, c.baseline.p99ms, c.baseline.requests)
+
+	if err := ckpt.WriteFileAtomic(ckpt.OSFS{}, o.ModelPath, cand); err != nil {
+		return fmt.Errorf("rollout: stage candidate: %w", err)
+	}
+	o.Logf("rollout: staged candidate %s over %s", o.Candidate, o.ModelPath)
+
+	for i, rep := range o.Replicas {
+		if err := c.promote(ctx, i, rep); err != nil {
+			c.rollback(ctx, i, prev, err)
+			return fmt.Errorf("rollout: halted at %s: %w (previous model restored)", rep, err)
+		}
+		c.postState(ctx, lb.RolloutState{
+			Phase: lb.RolloutRolling, Step: "promoted", Model: o.Candidate,
+			Target: rep, Promoted: i + 1, Total: len(o.Replicas),
+		})
+		o.Logf("rollout: promoted %s (%d/%d)", rep, i+1, len(o.Replicas))
+	}
+
+	c.postState(ctx, lb.RolloutState{
+		Phase: lb.RolloutDone, Model: o.Candidate,
+		Promoted: len(o.Replicas), Total: len(o.Replicas),
+	})
+	o.Logf("rollout: done, %d replicas serving %s", len(o.Replicas), o.Candidate)
+	return nil
+}
+
+// promote runs the per-replica state machine: drain → reload → fingerprint
+// → gate → readmit → budget window.
+func (c *Controller) promote(ctx context.Context, i int, rep string) error {
+	o := c.opt
+	step := func(s string) {
+		c.postState(ctx, lb.RolloutState{
+			Phase: lb.RolloutRolling, Step: s, Model: o.Candidate,
+			Target: rep, Promoted: i, Total: len(o.Replicas),
+		})
+		o.Logf("rollout: %s: %s", rep, s)
+	}
+
+	step("drain")
+	if err := c.adminReplica(ctx, "drain", rep); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := c.waitDrained(ctx, rep); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+
+	step("reload")
+	if err := c.reload(ctx, rep); err != nil {
+		return fmt.Errorf("reload: %w", err)
+	}
+
+	if o.WantFingerprint != "" {
+		step("fingerprint")
+		if err := c.checkFingerprint(ctx, rep); err != nil {
+			return fmt.Errorf("fingerprint: %w", err)
+		}
+	}
+
+	if o.Gate != nil {
+		step("gate")
+		if err := o.Gate(ctx, rep); err != nil {
+			return fmt.Errorf("gate: %w", err)
+		}
+	}
+
+	step("readmit")
+	if err := c.adminReplica(ctx, "readmit", rep); err != nil {
+		return fmt.Errorf("readmit: %w", err)
+	}
+
+	if o.BudgetWindow > 0 {
+		step("budget-window")
+		pre, err := c.lbVars(ctx)
+		if err != nil {
+			return fmt.Errorf("budget window: %w", err)
+		}
+		o.Sleep(o.BudgetWindow)
+		post, err := c.lbVars(ctx)
+		if err != nil {
+			return fmt.Errorf("budget window: %w", err)
+		}
+		w := windowFrom(pre, post)
+		o.Logf("rollout: %s: window %d requests, err-rate %.4f, p99 %.0fms",
+			rep, w.requests, w.errRate, w.p99ms)
+		if err := checkBudget(c.baseline, w, o.ErrBudget, o.P99Factor, o.MinWindowRequests); err != nil {
+			return fmt.Errorf("error budget: %w", err)
+		}
+	}
+	return nil
+}
+
+// rollback restores the previous model file, reloads every replica that
+// may have picked up the candidate (indexes 0..failed inclusive), readmits
+// everything, and publishes the rolled_back state. Best-effort by design:
+// a replica that cannot be reached still gets the restored file on its
+// next reload, and readmit failures leave it drained (safe, visible).
+func (c *Controller) rollback(ctx context.Context, failed int, prev []byte, cause error) {
+	o := c.opt
+	o.Logf("rollout: rolling back: %v", cause)
+	if err := ckpt.WriteFileAtomic(ckpt.OSFS{}, o.ModelPath, prev); err != nil {
+		o.Logf("rollout: ROLLBACK FAILED to restore %s: %v", o.ModelPath, err)
+	}
+	for j := 0; j <= failed && j < len(o.Replicas); j++ {
+		rep := o.Replicas[j]
+		if err := c.reload(ctx, rep); err != nil {
+			o.Logf("rollout: rollback reload %s: %v", rep, err)
+		}
+		if err := c.adminReplica(ctx, "readmit", rep); err != nil {
+			o.Logf("rollout: rollback readmit %s: %v", rep, err)
+		}
+	}
+	c.postState(ctx, lb.RolloutState{
+		Phase: lb.RolloutRolledBack, Model: o.Candidate,
+		Target: o.Replicas[failed], Promoted: failed, Total: len(o.Replicas),
+		Reason: cause.Error(),
+	})
+}
+
+// adminReplica POSTs one membership action to the LB.
+func (c *Controller) adminReplica(ctx context.Context, action, rep string) error {
+	body, _ := json.Marshal(lb.AdminReplicaRequest{Action: action, Replica: rep})
+	return c.postJSON(ctx, c.opt.LB+lb.EndpointAdminReplicas, body, nil)
+}
+
+// postState publishes rollout progress to the LB's /debug/vars. Failures
+// are logged, not fatal: losing visibility must not halt (or un-halt) a
+// rollout.
+func (c *Controller) postState(ctx context.Context, s lb.RolloutState) {
+	body, _ := json.Marshal(s)
+	if err := c.postJSON(ctx, c.opt.LB+lb.EndpointAdminRollout, body, nil); err != nil {
+		c.opt.Logf("rollout: post state: %v", err)
+	}
+}
+
+// waitDrained polls the LB's /debug/vars until the replica's in-flight
+// gauge reads zero twice in a row (mirroring the LB's own drain wait, but
+// observed from outside).
+func (c *Controller) waitDrained(ctx context.Context, rep string) error {
+	deadline := time.Now().Add(c.opt.DrainTimeout)
+	zeros := 0
+	for {
+		v, err := c.lbVars(ctx)
+		if err != nil {
+			return err
+		}
+		r, ok := v.Replicas[rep]
+		if !ok {
+			return fmt.Errorf("replica %q not in LB /debug/vars", rep)
+		}
+		if r.InFlight == 0 {
+			zeros++
+			if zeros >= 2 {
+				return nil
+			}
+		} else {
+			zeros = 0
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica %q still has %d in flight after %s", rep, r.InFlight, c.opt.DrainTimeout)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// reload drives the replica's /admin/reload and fails if any model source
+// failed to load.
+func (c *Controller) reload(ctx context.Context, rep string) error {
+	var resp serve.ReloadResponse
+	err := c.postJSON(ctx, rep+serve.EndpointReload, nil, &resp)
+	if err != nil {
+		// A reload that loaded nothing is a hard failure even though the
+		// endpoint reports 500: surface the per-model errors.
+		if len(resp.Models) == 0 {
+			return err
+		}
+	}
+	if resp.Failures > 0 {
+		var errs []string
+		for _, st := range resp.Models {
+			if st.Error != "" {
+				errs = append(errs, st.Name+": "+st.Error)
+			}
+		}
+		return fmt.Errorf("%d model(s) failed to load: %s", resp.Failures, strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// checkFingerprint confirms the replica now serves weights with the
+// expected fingerprint.
+func (c *Controller) checkFingerprint(ctx context.Context, rep string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep+serve.EndpointModels, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Models []serve.ModelInfo `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return fmt.Errorf("decode /v1/models: %w", err)
+	}
+	for _, m := range doc.Models {
+		if c.opt.Model != "" && m.Name != c.opt.Model {
+			continue
+		}
+		if m.Fingerprint == c.opt.WantFingerprint {
+			return nil
+		}
+		return fmt.Errorf("replica serves fingerprint %s, want %s", m.Fingerprint, c.opt.WantFingerprint)
+	}
+	return fmt.Errorf("model %q not registered on replica", c.opt.Model)
+}
+
+// lbVars fetches and decodes the LB's /debug/vars.
+func (c *Controller) lbVars(ctx context.Context) (lb.VarsSnap, error) {
+	var v lb.VarsSnap
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.opt.LB+"/debug/vars", nil)
+	if err != nil {
+		return v, err
+	}
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("GET /debug/vars: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return v, fmt.Errorf("decode /debug/vars: %w", err)
+	}
+	return v, nil
+}
+
+// postJSON POSTs body (with the admin bearer token) and decodes the
+// response into out when non-nil. Non-2xx responses become errors that
+// carry the server's error message; the decoded body is still populated
+// when possible so callers can inspect structured failures.
+func (c *Controller) postJSON(ctx context.Context, url string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Authorization", "Bearer "+c.opt.AdminToken)
+	resp, err := c.opt.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if out != nil {
+		_ = json.Unmarshal(raw, out)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := strings.TrimSpace(string(raw))
+		if len(msg) > 300 {
+			msg = msg[:300]
+		}
+		return fmt.Errorf("POST %s: %s: %s", url, resp.Status, msg)
+	}
+	return nil
+}

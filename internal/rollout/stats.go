@@ -1,0 +1,124 @@
+package rollout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"gendt/internal/lb"
+	"gendt/internal/serve"
+)
+
+// budgetBaseline is the pre-rollout health the post-readmit windows are
+// judged against: the fleet's cumulative error rate and p99 latency at the
+// moment the rollout started.
+type budgetBaseline struct {
+	requests int64
+	errRate  float64
+	p99ms    float64
+}
+
+// windowStats is one post-readmit observation window, computed from the
+// delta between two /debug/vars snapshots.
+type windowStats struct {
+	requests int64
+	errRate  float64
+	p99ms    float64
+}
+
+func baselineFrom(v lb.VarsSnap) budgetBaseline {
+	b := budgetBaseline{requests: v.Requests}
+	if v.Requests > 0 {
+		b.errRate = float64(v.Errors) / float64(v.Requests)
+	}
+	b.p99ms = histQuantile(v.Latency.Buckets, 0.99)
+	return b
+}
+
+func windowFrom(pre, post lb.VarsSnap) windowStats {
+	w := windowStats{requests: post.Requests - pre.Requests}
+	if w.requests > 0 {
+		w.errRate = float64(post.Errors-pre.Errors) / float64(w.requests)
+	}
+	w.p99ms = histQuantile(deltaBuckets(post.Latency, pre.Latency), 0.99)
+	return w
+}
+
+// checkBudget decides whether a post-readmit window breached the error
+// budget. Windows smaller than minRequests trivially pass — too little
+// traffic to tell anything. The latency cap only applies when the baseline
+// had traffic of its own; a cold fleet has no p99 to multiply.
+func checkBudget(base budgetBaseline, w windowStats, errBudget, p99Factor float64, minRequests int64) error {
+	if w.requests < minRequests {
+		return nil
+	}
+	if limit := base.errRate + errBudget; w.errRate > limit {
+		return fmt.Errorf("window error rate %.4f exceeds baseline %.4f + budget %.4f (%d requests)",
+			w.errRate, base.errRate, errBudget, w.requests)
+	}
+	if base.requests > 0 && base.p99ms > 0 {
+		if limit := base.p99ms * p99Factor; w.p99ms > limit {
+			return fmt.Errorf("window p99 %.0fms exceeds baseline %.0fms x %.1f (%d requests)",
+				w.p99ms, base.p99ms, p99Factor, w.requests)
+		}
+	}
+	return nil
+}
+
+// deltaBuckets subtracts two cumulative histogram snapshots bucket-wise,
+// yielding the counts observed between them. Buckets absent from a
+// snapshot are zero (HistogramSnap omits empty buckets).
+func deltaBuckets(post, pre serve.HistogramSnap) map[string]int64 {
+	out := make(map[string]int64, len(post.Buckets))
+	for k, n := range post.Buckets {
+		if d := n - pre.Buckets[k]; d > 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// histQuantile is the nearest-rank quantile over a bucketed latency
+// histogram keyed by integral-millisecond upper bounds plus "+Inf". It
+// returns the upper bound of the bucket the rank lands in (+Inf for the
+// overflow bucket), or 0 for an empty histogram.
+func histQuantile(buckets map[string]int64, q float64) float64 {
+	type bucket struct {
+		le float64
+		n  int64
+	}
+	bs := make([]bucket, 0, len(buckets))
+	var total int64
+	for k, n := range buckets {
+		if n <= 0 {
+			continue
+		}
+		le := math.Inf(1)
+		if k != "+Inf" {
+			v, err := strconv.ParseFloat(k, 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		bs = append(bs, bucket{le: le, n: n})
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for _, b := range bs {
+		cum += b.n
+		if cum >= rank {
+			return b.le
+		}
+	}
+	return bs[len(bs)-1].le
+}

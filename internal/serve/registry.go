@@ -29,7 +29,11 @@ type ModelInfo struct {
 	MaxCells  int      `json:"max_cells"`
 	Params    int      `json:"params"`
 	Precision string   `json:"precision"`
-	LoadedAt  string   `json:"loaded_at"`
+	// Fingerprint is the hex weight fingerprint of the loaded generator —
+	// the cheap way for a rollout to confirm a reload actually swapped the
+	// served weights before paying for a full statistical gate.
+	Fingerprint string `json:"fingerprint"`
+	LoadedAt    string `json:"loaded_at"`
 }
 
 type modelEntry struct {
@@ -163,14 +167,15 @@ func (r *Registry) List() []ModelInfo {
 	for _, e := range r.models {
 		cfg := e.gen.ModelConfig()
 		info := ModelInfo{
-			Name:      e.source.Name,
-			Path:      e.source.Path,
-			Hidden:    cfg.Hidden,
-			BatchLen:  cfg.BatchLen,
-			MaxCells:  cfg.MaxCells,
-			Params:    e.gen.ParamCount(),
-			Precision: string(e.gen.Precision()),
-			LoadedAt:  e.loadedAt.UTC().Format(time.RFC3339),
+			Name:        e.source.Name,
+			Path:        e.source.Path,
+			Hidden:      cfg.Hidden,
+			BatchLen:    cfg.BatchLen,
+			MaxCells:    cfg.MaxCells,
+			Params:      e.gen.ParamCount(),
+			Precision:   string(e.gen.Precision()),
+			Fingerprint: fmt.Sprintf("%016x", e.gen.Fingerprint()),
+			LoadedAt:    e.loadedAt.UTC().Format(time.RFC3339),
 		}
 		for _, ch := range cfg.Channels {
 			info.Channels = append(info.Channels, ch.Name)

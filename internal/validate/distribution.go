@@ -13,13 +13,38 @@ import (
 // gate generates.
 const hwdBins = 40
 
-// distributionChecks generates SamplesPerRoute independent samples per
-// held-out route, pools generated and ground-truth values per channel, and
-// gates the five distributional statistics against the golden tolerances.
-// All statistics are computed in normalized [0,1] units so one tolerance
-// scale covers channels with very different physical ranges.
-func distributionChecks(g core.Generator, seqs []*core.Sequence, opts Options, rep *Report) {
-	channels := g.ModelConfig().Channels
+// genFunc produces the generated series for held-out route ri, sample s,
+// as normalized per-channel columns [nch][T]. Run backs it with the
+// in-process generator; RunRemote backs it with a replica's HTTP path —
+// both draw the same seeds, so one golden file gates either source.
+type genFunc func(ri, s int) ([][]float64, error)
+
+// RequestSeed is the request seed a validation client sends for sample s
+// of held-out route ri: two DeriveSeed levels over the run seed. A serving
+// replica fans a request out as DeriveSeed(reqSeed, i), so the value it
+// generates for a samples=1 request is DeriveSeed(RequestSeed(...), 0) —
+// and the local pass draws exactly that, which is what makes the local and
+// remote distribution pools bit-comparable.
+func RequestSeed(seed int64, ri, s int) int64 {
+	return core.DeriveSeed(core.DeriveSeed(seed, ri), s)
+}
+
+// localGen generates sample (ri, s) from the in-process generator using
+// the serving-path sequences and the serving-path seed schedule.
+func localGen(g core.Generator, genSeqs []*core.Sequence, seed int64) genFunc {
+	nch := len(g.ModelConfig().Channels)
+	return func(ri, s int) ([][]float64, error) {
+		gen := g.GenerateSeeded(genSeqs[ri], core.DeriveSeed(RequestSeed(seed, ri, s), 0))
+		return columns(gen, nch), nil
+	}
+}
+
+// distributionChecks pulls SamplesPerRoute independent samples per
+// held-out route from gen, pools generated and ground-truth values per
+// channel, and gates the five distributional statistics against the golden
+// tolerances. All statistics are computed in normalized [0,1] units so one
+// tolerance scale covers channels with very different physical ranges.
+func distributionChecks(gen genFunc, channels []core.ChannelSpec, seqs []*core.Sequence, opts Options, rep *Report) {
 	nch := len(channels)
 	genPool := make([][]float64, nch) // generated values pooled over routes×samples
 	gtPool := make([][]float64, nch)  // ground truth pooled over routes (once each)
@@ -32,11 +57,14 @@ func distributionChecks(g core.Generator, seqs []*core.Sequence, opts Options, r
 			gtPool[c] = append(gtPool[c], gtCols[c]...)
 		}
 		for s := 0; s < opts.SamplesPerRoute; s++ {
-			// The sample is a pure function of (model, route, seed): the same
-			// derived-seed scheme the serving layer fans out with.
-			seed := core.DeriveSeed(opts.Seed, ri*opts.SamplesPerRoute+s)
-			gen := g.GenerateSeeded(seq, seed)
-			genCols := columns(gen, nch)
+			genCols, err := gen(ri, s)
+			if err != nil {
+				rep.add(CheckResult{
+					Name: "dist/generate", Passed: false,
+					Detail: fmt.Sprintf("route %d sample %d: %v", ri, s, err),
+				})
+				return
+			}
 			for c := 0; c < nch; c++ {
 				genPool[c] = append(genPool[c], genCols[c]...)
 				// Autocorrelation compares per route (never across route

@@ -1,0 +1,317 @@
+package validate
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"gendt/internal/core"
+	"gendt/internal/dataset"
+	"gendt/internal/geo"
+	"gendt/internal/metrics"
+	"gendt/internal/serve"
+)
+
+// RemoteOptions configures a remote validation run on top of the shared
+// Options.
+type RemoteOptions struct {
+	// Target is the replica's base URL, e.g. http://127.0.0.1:18081. The
+	// gate drives its real /v1/generate path — prep cache, batcher, JSON
+	// round-trip and all.
+	Target string
+	// Model is the registered model name to validate; empty uses the
+	// replica's single-model default.
+	Model string
+	// Client issues the requests; nil uses a 30s-timeout default.
+	Client *http.Client
+}
+
+// RunRemote executes the validation suite against what a live replica
+// actually serves. The distributional pass pools values fetched over HTTP
+// (same seeds as Run, so the same golden file gates both paths), and the
+// metamorphic pass checks the invariants that make a remote gate
+// trustworthy: the replica is deterministic across repeated requests, it
+// serves bit-identically to the local reference model m (the candidate a
+// rollout just pushed), and its outputs honor truncation consistency and
+// RSRP-distance monotonicity end to end. The local reference model is also
+// validated in-process first — a rollout gate must fail if the candidate
+// file itself is bad, whether or not the replica faithfully serves it.
+func RunRemote(m *core.Model, ropts RemoteOptions, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.Dataset == nil {
+		return nil, fmt.Errorf("validate: Options.Dataset is required")
+	}
+	if ropts.Target == "" {
+		return nil, fmt.Errorf("validate: RemoteOptions.Target is required")
+	}
+	if ropts.Client == nil {
+		ropts.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	var g core.Generator = m
+	if opts.Precision != "" && opts.Precision != core.PrecisionF64 {
+		im, err := m.Freeze(opts.Precision)
+		if err != nil {
+			return nil, fmt.Errorf("validate: %w", err)
+		}
+		g = im
+	}
+	cfg := g.ModelConfig()
+	rep := &Report{Dataset: opts.Dataset.Name}
+	for _, ch := range cfg.Channels {
+		rep.Channels = append(rep.Channels, ch.Name)
+	}
+	routes, seqs, err := heldOutSequences(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Logf("validate: remote gate against %s (%d held-out routes)", ropts.Target, len(routes))
+
+	// Distribution over the wire: the replica generates, we renormalize and
+	// gate against the same golden as the local pass.
+	distributionChecks(remoteGen(ropts, routes, cfg.Channels, opts.Seed), cfg.Channels, seqs, opts, rep)
+
+	// Remote metamorphic invariants.
+	checkRemoteDeterminism(ropts, routes[0].Traj, opts, rep)
+	checkRemoteServesCandidate(g, ropts, routes[0].Traj, opts, rep)
+	checkRemoteTruncation(g, ropts, routes[0].Traj, opts, rep)
+	checkRemoteMonotonicRSRP(g, ropts, opts, rep)
+
+	// Local metamorphic suite on the candidate model itself (HTTP variant
+	// skipped: the remote checks above exercise the real network path).
+	localOpts := opts
+	localOpts.SkipHTTP = true
+	metamorphicChecks(g, routes, seqs, localOpts, rep)
+	return rep, nil
+}
+
+// remoteCall POSTs one generate request and decodes the response.
+func remoteCall(ropts RemoteOptions, req serve.GenerateRequest) (*serve.GenerateResponse, []byte, error) {
+	req.Model = ropts.Model
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	httpResp, err := ropts.Client.Post(ropts.Target+serve.EndpointGenerate, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("%s status %d: %s", serve.EndpointGenerate, httpResp.StatusCode, raw)
+	}
+	var resp serve.GenerateResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, nil, fmt.Errorf("decode response: %w", err)
+	}
+	return &resp, raw, nil
+}
+
+// routePoints converts a trajectory to request points.
+func routePoints(tr geo.Trajectory) []serve.RoutePoint {
+	out := make([]serve.RoutePoint, len(tr))
+	for i, p := range tr {
+		out[i] = serve.RoutePoint{T: p.T, Lat: p.Lat, Lon: p.Lon}
+	}
+	return out
+}
+
+// remoteGen fetches sample (ri, s) from the replica — one samples=1
+// request per sample, seeded with RequestSeed so the replica's derived
+// seed equals the local pass's — and renormalizes the physical-unit
+// response into [0,1] columns.
+func remoteGen(ropts RemoteOptions, routes []dataset.Run, channels []core.ChannelSpec, seed int64) genFunc {
+	return func(ri, s int) ([][]float64, error) {
+		resp, _, err := remoteCall(ropts, serve.GenerateRequest{
+			Seed:  RequestSeed(seed, ri, s),
+			Route: routePoints(routes[ri].Traj),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(resp.Series) != len(channels) {
+			return nil, fmt.Errorf("route %d: response has %d channels, want %d",
+				ri, len(resp.Series), len(channels))
+		}
+		cols := make([][]float64, len(channels))
+		for c := range channels {
+			cols[c] = make([]float64, len(resp.Series[c]))
+			for t, v := range resp.Series[c] {
+				cols[c][t] = channels[c].Normalize(v)
+			}
+		}
+		return cols, nil
+	}
+}
+
+// checkRemoteDeterminism: the same request twice must produce byte-wise
+// identical series and envelope — a replica that is warm vs cold, batched
+// vs unbatched, must not leak that into the payload.
+func checkRemoteDeterminism(ropts RemoteOptions, tr geo.Trajectory, opts Options, rep *Report) {
+	const name = "meta/remote-seed-determinism"
+	if len(tr) > 64 {
+		tr = tr[:64]
+	}
+	req := serve.GenerateRequest{Seed: opts.Seed, Samples: 2, Route: routePoints(tr)}
+	a, _, err := remoteCall(ropts, req)
+	if err != nil {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: err.Error()})
+		return
+	}
+	b, _, err := remoteCall(ropts, req)
+	if err != nil {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: err.Error()})
+		return
+	}
+	if ok, detail := seriesEqual(a.Series, b.Series); !ok {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: "series: " + detail})
+		return
+	}
+	if a.Envelope == nil || b.Envelope == nil {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: "missing envelope for samples=2"})
+		return
+	}
+	if ok, detail := seriesEqual(a.Envelope.Min, b.Envelope.Min); !ok {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: "envelope min: " + detail})
+		return
+	}
+	rep.add(CheckResult{Name: name, Passed: true,
+		Detail: fmt.Sprintf("%d steps, 2 samples, repeated request bit-identical", len(tr))})
+}
+
+// checkRemoteServesCandidate: the replica's output must be bit-identical
+// to the local candidate generating the same request — the proof that a
+// reload actually took effect and the fleet serves the model the rollout
+// pushed, not a stale or corrupted one.
+func checkRemoteServesCandidate(g core.Generator, ropts RemoteOptions, tr geo.Trajectory, opts Options, rep *Report) {
+	const name = "meta/remote-serves-candidate"
+	if len(tr) > 64 {
+		tr = tr[:64]
+	}
+	resp, _, err := remoteCall(ropts, serve.GenerateRequest{Seed: opts.Seed, Route: routePoints(tr)})
+	if err != nil {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: err.Error()})
+		return
+	}
+	world := serve.NewWorldFrom(opts.Dataset)
+	seq, _ := world.Prepare(tr, g)
+	expect := g.GenerateJobs([]core.GenJob{{Seq: seq, Seed: core.DeriveSeed(opts.Seed, 0)}})
+	if ok, detail := seriesEqual(resp.Series, expect[0]); !ok {
+		rep.add(CheckResult{Name: name, Passed: false,
+			Detail: "replica output differs from candidate model: " + detail})
+		return
+	}
+	rep.add(CheckResult{Name: name, Passed: true,
+		Detail: fmt.Sprintf("%d steps bit-identical to local candidate", len(tr))})
+}
+
+// checkRemoteTruncation: generating a batch-aligned prefix of a route must
+// reproduce the prefix of the full route's generation — over the wire,
+// through prep cache and JSON. Denormalization is elementwise, so the
+// invariant carries from normalized to physical units exactly.
+func checkRemoteTruncation(g core.Generator, ropts RemoteOptions, tr geo.Trajectory, opts Options, rep *Report) {
+	const name = "meta/remote-truncation-consistency"
+	L := g.ModelConfig().BatchLen
+	P := (len(tr) / 2 / L) * L
+	if P == 0 && len(tr) > L {
+		P = L
+	}
+	if P < 2 {
+		rep.skip(name, fmt.Sprintf("route too short (%d steps, batch %d)", len(tr), L))
+		return
+	}
+	full, _, err := remoteCall(ropts, serve.GenerateRequest{Seed: opts.Seed, Route: routePoints(tr)})
+	if err != nil {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: err.Error()})
+		return
+	}
+	part, _, err := remoteCall(ropts, serve.GenerateRequest{Seed: opts.Seed, Route: routePoints(tr[:P])})
+	if err != nil {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: err.Error()})
+		return
+	}
+	// Series are [channel][t]: compare the prefix per channel.
+	if len(full.Series) != len(part.Series) {
+		rep.add(CheckResult{Name: name, Passed: false,
+			Detail: fmt.Sprintf("channel count %d vs %d", len(full.Series), len(part.Series))})
+		return
+	}
+	prefix := make([][]float64, len(full.Series))
+	for c := range full.Series {
+		if len(full.Series[c]) < P {
+			rep.add(CheckResult{Name: name, Passed: false,
+				Detail: fmt.Sprintf("full series shorter (%d) than prefix %d", len(full.Series[c]), P)})
+			return
+		}
+		prefix[c] = full.Series[c][:P]
+	}
+	ok, detail := seriesEqual(prefix, part.Series)
+	if ok {
+		detail = fmt.Sprintf("prefix %d of %d steps", P, len(tr))
+	}
+	rep.add(CheckResult{Name: name, Passed: ok, Detail: detail})
+}
+
+// checkRemoteMonotonicRSRP: the physical sanity check, end to end — a
+// route hugging a live cell must not get lower mean RSRP from the replica
+// than the same-shaped route 10× farther out.
+func checkRemoteMonotonicRSRP(g core.Generator, ropts RemoteOptions, opts Options, rep *Report) {
+	const name = "meta/remote-monotonic-rsrp-distance"
+	ci := channelIndex(g, "RSRP")
+	if ci < 0 {
+		rep.skip(name, "model has no RSRP channel")
+		return
+	}
+	dep := opts.Dataset.World.Deployment
+	if len(dep.Cells) == 0 {
+		rep.skip(name, "dataset world has no cells")
+		return
+	}
+	site := dep.Cells[0].Site
+	mean := func(radius float64) (float64, error) {
+		const steps = 40
+		tr := make(geo.Trajectory, steps)
+		for i := 0; i < steps; i++ {
+			p := geo.Offset(site, float64(i)*360/steps, radius)
+			tr[i] = geo.Sample{Point: p, T: float64(i)}
+		}
+		ch := g.ModelConfig().Channels[ci]
+		var vals []float64
+		for s := 0; s < monotonicSamples; s++ {
+			resp, _, err := remoteCall(ropts, serve.GenerateRequest{
+				Seed: core.DeriveSeed(opts.Seed, 1000+s), Route: routePoints(tr),
+			})
+			if err != nil {
+				return 0, err
+			}
+			if len(resp.Series) <= ci {
+				return 0, fmt.Errorf("response has %d channels, want > %d", len(resp.Series), ci)
+			}
+			for _, v := range resp.Series[ci] {
+				vals = append(vals, ch.Normalize(v))
+			}
+		}
+		return metrics.Mean(vals), nil
+	}
+	near, err := mean(150)
+	if err != nil {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: err.Error()})
+		return
+	}
+	far, err := mean(1500)
+	if err != nil {
+		rep.add(CheckResult{Name: name, Passed: false, Detail: err.Error()})
+		return
+	}
+	rep.add(CheckResult{
+		Name: name, Passed: far-near <= monotonicSlack,
+		Observed: far - near, Limit: monotonicSlack,
+		Detail: fmt.Sprintf("mean norm RSRP near=%.3f far=%.3f", near, far),
+	})
+}

@@ -25,6 +25,7 @@ import (
 
 	"gendt/internal/core"
 	"gendt/internal/dataset"
+	"gendt/internal/serve"
 )
 
 // Options configures a validation run. Zero fields take the defaults
@@ -214,9 +215,27 @@ func Run(m *core.Model, opts Options) (*Report, error) {
 	opts.Logf("validate: %d held-out routes (%d..%d samples), %d samples/route",
 		len(seqs), minLen, maxLen, opts.SamplesPerRoute)
 
-	distributionChecks(g, seqs, opts, rep)
+	// The distributional pass generates from serving-path sequences — the
+	// held-out trajectories annotated by the resident world, exactly as a
+	// replica prepares an HTTP request — so the same golden file gates the
+	// in-process run and RunRemote's over-the-wire run. Ground truth stays
+	// the recorded held-out KPIs either way.
+	genSeqs := servingPathSequences(routes, g, opts)
+	distributionChecks(localGen(g, genSeqs, opts.Seed), cfg.Channels, seqs, opts, rep)
 	metamorphicChecks(g, routes, seqs, opts, rep)
 	return rep, nil
+}
+
+// servingPathSequences prepares the held-out trajectories the way the
+// serving layer would: world annotation of the bare route, no recorded
+// measurement context.
+func servingPathSequences(routes []dataset.Run, g core.Generator, opts Options) []*core.Sequence {
+	world := serve.NewWorldFrom(opts.Dataset)
+	out := make([]*core.Sequence, len(routes))
+	for i, run := range routes {
+		out[i], _ = world.Prepare(run.Traj, g)
+	}
+	return out
 }
 
 // heldOutSequences prepares up to opts.Routes test-split runs, truncated
