@@ -17,6 +17,7 @@ import (
 	"sync"
 	"testing"
 
+	"gendt/internal/core"
 	"gendt/internal/dataset"
 	"gendt/internal/experiments"
 )
@@ -341,6 +342,53 @@ func BenchmarkGenerate(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(string(p), func(b *testing.B) { run(b, im) })
+	}
+}
+
+// BenchmarkGenerateBatch measures the frozen backends' lockstep batched
+// GenerateJobs engine at paper-scale weights (Hidden=100), where weight
+// bandwidth dominates: every layer-step issues one packed GEMM across the
+// micro-batch instead of one GEMV per sequence. x1 is the sequential
+// baseline (a singleton chunk takes the job-at-a-time path); x4/x8 step
+// that many sequences in lockstep on one worker, so ns/op ratios read
+// directly as aggregate-throughput amortization (the seq/s metric reports
+// it explicitly). BENCH_infer.json tracks the batched trajectory.
+func BenchmarkGenerateBatch(b *testing.B) {
+	opt := benchOpt()
+	d := dataset.NewDatasetA(dataset.Spec{Seed: opt.Seed, Scale: opt.Scale})
+	chans := RSRPRSRQChannels()
+	train := PrepareAll(d.TrainRuns(), chans, opt.MaxCells)
+	cfg := Config{
+		Channels: chans, Hidden: 100,
+		BatchLen: opt.BatchLen, StepLen: opt.StepLen,
+		MaxCells: opt.MaxCells, Epochs: 1, Seed: 1, Workers: 1,
+	}
+	m := NewModel(cfg)
+	m.Train(train, nil)
+	test := PrepareSequence(d.TestRuns()[0], chans, opt.MaxCells)
+
+	for _, p := range []Precision{PrecisionF32, PrecisionInt8} {
+		im, err := m.Freeze(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := im.WithWorkers(1)
+		for _, n := range []int{1, 4, 8} {
+			jobs := make([]core.GenJob, n)
+			for i := range jobs {
+				jobs[i] = core.GenJob{Seq: test, Seed: core.DeriveSeed(1, i)}
+			}
+			b.Run(fmt.Sprintf("%sx%d", p, n), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if out := g.GenerateJobs(jobs); len(out) != n {
+						b.Fatal("bad generation")
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "seq/s")
+			})
+		}
 	}
 }
 

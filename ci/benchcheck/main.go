@@ -36,9 +36,28 @@ type Result struct {
 
 // Baseline is the committed reference file format.
 type Baseline struct {
-	Description  string            `json:"description"`
-	TolerancePct Tolerance         `json:"tolerance_pct"`
-	Benchmarks   map[string]Result `json:"benchmarks"`
+	Description  string    `json:"description"`
+	TolerancePct Tolerance `json:"tolerance_pct"`
+	// ToleranceOverrides tightens (or loosens) the gate per benchmark:
+	// entries here replace TolerancePct for the named benchmark. A zero
+	// field inherits the global value. Batched-GEMM throughput entries use
+	// this for a tighter ns/op bound than the global default.
+	ToleranceOverrides map[string]Tolerance `json:"tolerance_overrides,omitempty"`
+	Benchmarks         map[string]Result    `json:"benchmarks"`
+}
+
+// toleranceFor resolves the effective tolerance for one benchmark.
+func (b Baseline) toleranceFor(name string) Tolerance {
+	tol := b.TolerancePct
+	if ov, ok := b.ToleranceOverrides[name]; ok {
+		if ov.NsOp > 0 {
+			tol.NsOp = ov.NsOp
+		}
+		if ov.AllocsOp > 0 {
+			tol.AllocsOp = ov.AllocsOp
+		}
+	}
+	return tol
 }
 
 // Tolerance holds the allowed regression percentages.
@@ -47,10 +66,18 @@ type Tolerance struct {
 	AllocsOp float64 `json:"allocs_op"`
 }
 
-// benchLine matches one `go test -bench -benchmem` result line, e.g.
+// benchLine matches the name and ns/op of one `go test -bench` result
+// line, e.g.
 //
 //	BenchmarkTrain/workers=1-8  3  33569627 ns/op  520496 B/op  6126 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+//
+// allocs/op is extracted separately by allocsOp so that custom
+// b.ReportMetric columns (e.g. the batched-GEMM benchmarks' seq/s) between
+// ns/op and the -benchmem columns don't hide the allocation count.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op`)
+
+// allocsOp matches the -benchmem allocation column anywhere in the line.
+var allocsOp = regexp.MustCompile(`([\d.]+) allocs/op`)
 
 // gomaxprocsSuffix is the trailing -N the bench harness appends to names.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
@@ -64,7 +91,8 @@ func ParseBench(r io.Reader) (map[string]Result, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		line := strings.TrimSpace(sc.Text())
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -74,8 +102,8 @@ func ParseBench(r io.Reader) (map[string]Result, error) {
 			return nil, fmt.Errorf("benchcheck: %q: %w", name, err)
 		}
 		res := Result{NsOp: ns}
-		if m[4] != "" {
-			if res.AllocsOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+		if am := allocsOp.FindStringSubmatch(line); am != nil {
+			if res.AllocsOp, err = strconv.ParseFloat(am[1], 64); err != nil {
 				return nil, fmt.Errorf("benchcheck: %q: %w", name, err)
 			}
 		}
@@ -123,8 +151,9 @@ func Compare(base Baseline, got map[string]Result) []Problem {
 			problems = append(problems, Problem{Name: name})
 			continue
 		}
-		check(name, "ns/op", b.NsOp, g.NsOp, base.TolerancePct.NsOp)
-		check(name, "allocs/op", b.AllocsOp, g.AllocsOp, base.TolerancePct.AllocsOp)
+		tol := base.toleranceFor(name)
+		check(name, "ns/op", b.NsOp, g.NsOp, tol.NsOp)
+		check(name, "allocs/op", b.AllocsOp, g.AllocsOp, tol.AllocsOp)
 	}
 	return problems
 }

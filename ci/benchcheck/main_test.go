@@ -53,6 +53,23 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchCustomMetric(t *testing.T) {
+	// A b.ReportMetric column between ns/op and the -benchmem columns
+	// (like the batched-GEMM benchmarks' seq/s) must not hide allocs/op.
+	const line = "BenchmarkGenerateBatch/f32x8-8  3  11350691 ns/op  704.9 seq/s  24256 B/op  78 allocs/op\n"
+	got, err := ParseBench(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := got["BenchmarkGenerateBatch/f32x8"]
+	if !ok {
+		t.Fatalf("missing benchmark: %+v", got)
+	}
+	if g.NsOp != 11350691 || g.AllocsOp != 78 {
+		t.Fatalf("BenchmarkGenerateBatch/f32x8 = %+v, want ns 11350691 allocs 78", g)
+	}
+}
+
 func TestCompareClean(t *testing.T) {
 	got, _ := ParseBench(strings.NewReader(sampleOutput))
 	if problems := Compare(baseline(), got); len(problems) != 0 {
@@ -102,6 +119,30 @@ func TestCompareMissingBenchmark(t *testing.T) {
 	}
 	problems := Compare(baseline(), got)
 	if len(problems) != 1 || !strings.Contains(problems[0].String(), "missing") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCompareToleranceOverrides(t *testing.T) {
+	base := baseline()
+	// Tighten BenchmarkGenerate's ns/op gate to 25% while the global bound
+	// stays 50%; its allocs/op bound inherits the global 25%.
+	base.ToleranceOverrides = map[string]Tolerance{
+		"BenchmarkGenerate": {NsOp: 25},
+	}
+	got := map[string]Result{
+		"BenchmarkTrain/workers=1":            {NsOp: 33569627 * 1.4, AllocsOp: 6126}, // +40%: global 50% tolerates it
+		"BenchmarkGenerate":                   {NsOp: 646789 * 1.4, AllocsOp: 12},     // +40%: override 25% flags it
+		"BenchmarkModelUncertainty/workers=1": {NsOp: 3330677, AllocsOp: 472},
+	}
+	problems := Compare(base, got)
+	if len(problems) != 1 || problems[0].Name != "BenchmarkGenerate" || problems[0].Metric != "ns/op" {
+		t.Fatalf("problems = %v", problems)
+	}
+	// Inherited allocs/op bound still gates.
+	got["BenchmarkGenerate"] = Result{NsOp: 646789, AllocsOp: 16} // +33%
+	problems = Compare(base, got)
+	if len(problems) != 1 || problems[0].Metric != "allocs/op" {
 		t.Fatalf("problems = %v", problems)
 	}
 }

@@ -26,6 +26,8 @@ GOLDEN=validate/golden/gate-a.json
 
 go build -o "$work/gendt-train" ./cmd/gendt-train
 go build -o "$work/gendt-validate" ./cmd/gendt-validate
+go build -o "$work/gendt-serve" ./cmd/gendt-serve
+go build -o "$work/gendt-bench" ./cmd/gendt-bench
 
 echo "=== statistical gate: train fixed-seed model ==="
 "$work/gendt-train" "${TRAIN_ARGS[@]}" -out "$work/model.json" -fingerprint
@@ -42,6 +44,68 @@ echo "=== statistical gate: frozen f32/int8 backends must pass ==="
 for prec in f32 int8; do
     "$work/gendt-validate" -model "$work/model.json" "${GATE_ARGS[@]}" \
         -golden "$GOLDEN" -precision "$prec" | tee "$work/pass-$prec.log"
+    # The batched-GEMM engine identity check must have actually run (not
+    # skipped) for every frozen backend — it is the in-process half of the
+    # serial-vs-batched bit-identity contract.
+    if ! grep -q '^ok   *meta/batched-engine-identity' "$work/pass-$prec.log"; then
+        echo "FAIL: meta/batched-engine-identity did not run for $prec"
+        exit 1
+    fi
+done
+
+echo "=== statistical gate: batched serving is bit-identical under load ==="
+# Two replicas of the same frozen model, one on the lockstep batched-GEMM
+# engine and one with -batch-gemm=false (job-at-a-time), per precision.
+# Open-loop load keeps the batched replica's micro-batcher coalescing
+# multi-request batches while the verify loop asserts per-seed responses
+# are float-exact across the two engines — HTTP-level proof that batching
+# is purely an execution-schedule change.
+BATCHED=http://127.0.0.1:18073
+UNBATCHED=http://127.0.0.1:18074
+wait_http() {
+    for _ in $(seq 1 200); do
+        if curl -fsS -o /dev/null "$1" 2>/dev/null; then return 0; fi
+        sleep 0.1
+    done
+    echo "FAIL: $1 never became healthy"
+    return 1
+}
+for url in "$BATCHED" "$UNBATCHED"; do
+    if curl -fsS -o /dev/null "$url/healthz" 2>/dev/null; then
+        echo "FAIL: something is already listening at $url — stale server from an earlier run?"
+        exit 1
+    fi
+done
+BENCH_TRACE=(-dataset A -scale 0.02 -seed 7 -routes 4 -steps 30 -trace-seed 1 -timeout 10s)
+for prec in f32 int8; do
+    echo "--- $prec: batched vs unbatched replicas"
+    "$work/gendt-serve" -model "$work/model.json" -dataset A -scale 0.02 -seed 7 \
+        -precision "$prec" -addr 127.0.0.1:18073 >"$work/serve-batched-$prec.log" 2>&1 &
+    batched_pid=$!
+    "$work/gendt-serve" -model "$work/model.json" -dataset A -scale 0.02 -seed 7 \
+        -precision "$prec" -batch-gemm=false -addr 127.0.0.1:18074 >"$work/serve-unbatched-$prec.log" 2>&1 &
+    unbatched_pid=$!
+    trap 'kill "$batched_pid" "$unbatched_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+    wait_http "$BATCHED/healthz"
+    wait_http "$UNBATCHED/healthz"
+    "$work/gendt-bench" -target "$BATCHED" "${BENCH_TRACE[@]}" \
+        -rps 30 -duration 3s -warmup 0s -arrival fixed \
+        -max-error-rate 0 -out "$work/load-$prec.json" >"$work/load-$prec.log" 2>&1 &
+    load_pid=$!
+    if ! "$work/gendt-bench" -target "$BATCHED" -verify-against "$UNBATCHED" \
+        -verify-n 4 "${BENCH_TRACE[@]}"; then
+        echo "FAIL: $prec: batched vs unbatched serving outputs differ"
+        cat "$work/serve-batched-$prec.log" "$work/serve-unbatched-$prec.log"
+        exit 1
+    fi
+    if ! wait "$load_pid"; then
+        echo "FAIL: $prec: load window against the batched replica saw errors"
+        cat "$work/load-$prec.log"
+        exit 1
+    fi
+    kill "$batched_pid" "$unbatched_pid" 2>/dev/null || true
+    wait "$batched_pid" "$unbatched_pid" 2>/dev/null || true
+    trap 'rm -rf "$work"' EXIT
 done
 
 echo "=== statistical gate: corrupted model must fail ==="

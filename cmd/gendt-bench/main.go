@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -163,4 +164,33 @@ func logReport(logger *log.Logger, rep loadgen.Report) {
 		rep.OfferedRPS, rep.Sent, rep.Measured, rep.Succeeded, rep.Errors,
 		100*rep.ErrorRate, rep.AchievedRPS,
 		rep.LatencyMs.P50, rep.LatencyMs.P99, rep.LatencyMs.P999, rep.Reasons)
+	if h := rep.BatchSizeHist; h != nil {
+		logger.Printf("rps %g: batch sizes: %d batches, mean %.2f req/batch | le %s",
+			rep.OfferedRPS, h.Count, h.Mean, fmtBuckets(h.Buckets))
+	}
+}
+
+// fmtBuckets renders le-bucket counts in ascending bound order ("+Inf"
+// last), e.g. "1:12 2:3 8:1".
+func fmtBuckets(buckets map[string]int64) string {
+	keys := make([]string, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		vi, erri := strconv.ParseInt(keys[i], 10, 64)
+		vj, errj := strconv.ParseInt(keys[j], 10, 64)
+		if (erri == nil) != (errj == nil) {
+			return erri == nil // numeric bounds before "+Inf"
+		}
+		if erri != nil {
+			return keys[i] < keys[j]
+		}
+		return vi < vj
+	})
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, buckets[k]))
+	}
+	return strings.Join(parts, " ")
 }

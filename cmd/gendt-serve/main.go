@@ -17,9 +17,10 @@
 //
 //	gendt-serve -model gendt-model.json [-model name=path ...]
 //	            [-addr :8080] [-dataset A|B] [-scale F] [-seed N]
-//	            [-batch-window 2ms] [-batch-max 64] [-timeout 30s]
+//	            [-batch-window 2ms] [-batch-max 64] [-batch-gemm=true]
 //	            [-max-body 8388608] [-max-samples 64] [-workers N]
-//	            [-precision f64|f32|int8] [-pprof-addr 127.0.0.1:6060]
+//	            [-timeout 30s] [-precision f64|f32|int8]
+//	            [-pprof-addr 127.0.0.1:6060]
 package main
 
 import (
@@ -74,6 +75,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset seed (must match training for the same world)")
 	batchWindow := flag.Duration("batch-window", 2*time.Millisecond, "micro-batching window; 0 coalesces only queued requests")
 	batchMax := flag.Int("batch-max", serve.DefaultMaxBatch, "max generation jobs per coalesced batch")
+	batchGemm := flag.Bool("batch-gemm", true, "run frozen f32/int8 batches on the lockstep batched-GEMM engine; false falls back to job-at-a-time execution (bit-identical output)")
 	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request generation timeout")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "max request body bytes")
 	maxSamples := flag.Int("max-samples", serve.DefaultMaxSamples, "max samples per request")
@@ -99,6 +101,10 @@ func main() {
 	reg, err := serve.NewRegistry(models, *workers)
 	if err != nil {
 		logger.Fatal(err)
+	}
+	if !*batchGemm {
+		reg.SetBatchGemm(false)
+		logger.Print("batched-GEMM inference disabled (-batch-gemm=false)")
 	}
 	logger.Printf("loaded %d model(s): %s", len(reg.Names()), strings.Join(reg.Names(), ", "))
 

@@ -130,6 +130,7 @@ func (m *Model) Freeze(p Precision) (*InferModel, error) {
 	}
 	im.scratchCols = im.maxCols()
 	im.states = &sync.Pool{New: func() any { return im.newState() }}
+	im.batches = &sync.Pool{New: func() any { return im.newBatch() }}
 	return im, nil
 }
 
@@ -155,6 +156,13 @@ type InferModel struct {
 	// states pools inferState by pointer so WithWorkers' shallow copies
 	// share one pool (sync.Pool must not be copied by value).
 	states *sync.Pool
+	// batches pools the lockstep micro-batch engines (batch.go); shared
+	// across shallow copies for the same reason.
+	batches *sync.Pool
+	// noBatch forces GenerateJobs down the job-at-a-time path (the
+	// -batch-gemm=false escape hatch). Outputs are bit-identical either
+	// way; only the execution schedule differs.
+	noBatch bool
 }
 
 // inferRes is the frozen ResGen: the body denses with their activation
@@ -420,20 +428,28 @@ func (im *InferModel) forwardGen(st *inferState, seq *Sequence, lo, L int, teach
 // draws as ResGen.Forward: noiseDim normals, one uniform per dropout
 // element, one normal per channel.
 func (r *inferRes) forward(st *inferState, envCtx []float64, row []float32) {
-	x := st.bufA
+	r.forwardLane(st.rng, st.bufA, st.bufB, st.lags, st.head, st.xq, envCtx, row)
+}
+
+// forwardLane is forward with the state unbundled, so the batched engine
+// can run it per lane against its own buffers; one implementation serves
+// both execution paths, which is what keeps them bit-identical by
+// construction.
+func (r *inferRes) forwardLane(rng *rand.Rand, bufA, bufB, lags, head []float32, xq []int8, envCtx []float64, row []float32) {
+	x := bufA
 	k := 0
 	for _, v := range envCtx {
 		x[k] = float32(v)
 		k++
 	}
 	for i := 0; i < r.noiseDim; i++ {
-		x[k] = float32(st.rng.NormFloat64())
+		x[k] = float32(rng.NormFloat64())
 		k++
 	}
-	copy(x[k:r.in], st.lags)
-	cur, nxt := st.bufA, st.bufB
+	copy(x[k:r.in], lags)
+	cur, nxt := bufA, bufB
 	for _, sg := range r.stages {
-		sg.d.Apply(cur, nxt, st.xq)
+		sg.d.Apply(cur, nxt, xq)
 		if sg.alpha != 0 {
 			for i := 0; i < sg.d.Rows; i++ {
 				if nxt[i] < 0 {
@@ -449,23 +465,23 @@ func (r *inferRes) forward(st *inferState, envCtx []float64, row []float32) {
 		keep := 1 - r.dropP
 		keep32 := float32(keep)
 		for i := range h {
-			if st.rng.Float64() < keep {
+			if rng.Float64() < keep {
 				h[i] /= keep32
 			} else {
 				h[i] = 0
 			}
 		}
 	}
-	r.head.Apply(h, st.head, st.xq)
+	r.head.Apply(h, head, xq)
 	for c := 0; c < r.nch; c++ {
-		mu := st.head[c]
-		ls := st.head[r.nch+c]
+		mu := head[c]
+		ls := head[r.nch+c]
 		if ls < -6 {
 			ls = -6
 		} else if ls > 3 {
 			ls = 3
 		}
-		eps := float32(st.rng.NormFloat64())
+		eps := float32(rng.NormFloat64())
 		raw := mu + nn.ExpF32(ls)*eps
 		th := nn.TanhF32(raw / ResBound)
 		row[c] += ResBound * th
@@ -483,19 +499,61 @@ func clamp01f32(v float32) float32 {
 }
 
 // GenerateJobs implements Generator: no cloning — every job runs straight
-// on the frozen weights with a pooled state, fanned out over Cfg.Workers.
+// on the frozen weights, fanned out over Cfg.Workers. By default jobs run
+// on the lockstep micro-batch engine (batch.go) in chunks of up to
+// batchLanes, which amortizes weight bandwidth across the chunk; the
+// noBatch escape hatch (WithBatch(false)) and singleton chunks take the
+// job-at-a-time path. Both schedules produce bit-identical output per
+// (seq, seed).
 func (im *InferModel) GenerateJobs(jobs []GenJob) [][][]float64 {
 	out := make([][][]float64, len(jobs))
-	run := func(i int) {
+	runOne := func(i int) {
 		out[i] = im.DenormalizeSeries(im.GenerateSeeded(jobs[i].Seq, jobs[i].Seed))
 	}
+	if im.noBatch {
+		W := im.Cfg.Workers
+		if W > len(jobs) {
+			W = len(jobs)
+		}
+		if W <= 1 {
+			for i := range jobs {
+				runOne(i)
+			}
+			return out
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < W; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(jobs); i += W {
+					runOne(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+		return out
+	}
+	nChunks := (len(jobs) + batchLanes - 1) / batchLanes
+	runChunk := func(ci int) {
+		lo := ci * batchLanes
+		hi := lo + batchLanes
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		if hi-lo == 1 {
+			runOne(lo)
+			return
+		}
+		im.generateBatch(jobs[lo:hi], out[lo:hi])
+	}
 	W := im.Cfg.Workers
-	if W > len(jobs) {
-		W = len(jobs)
+	if W > nChunks {
+		W = nChunks
 	}
 	if W <= 1 {
-		for i := range jobs {
-			run(i)
+		for ci := 0; ci < nChunks; ci++ {
+			runChunk(ci)
 		}
 		return out
 	}
@@ -504,8 +562,8 @@ func (im *InferModel) GenerateJobs(jobs []GenJob) [][][]float64 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < len(jobs); i += W {
-				run(i)
+			for ci := w; ci < nChunks; ci += W {
+				runChunk(ci)
 			}
 		}(w)
 	}
@@ -538,5 +596,18 @@ func (im *InferModel) WithWorkers(n int) Generator {
 	}
 	c := *im
 	c.Cfg.Workers = n
+	return &c
+}
+
+// WithBatch returns a view of the same weights with the lockstep batched
+// GenerateJobs engine enabled (the default) or disabled. The view shares
+// weights and pools with the receiver; per-seed outputs are bit-identical
+// on both settings.
+func (im *InferModel) WithBatch(on bool) *InferModel {
+	if im.noBatch == !on {
+		return im
+	}
+	c := *im
+	c.noBatch = !on
 	return &c
 }

@@ -86,6 +86,11 @@ func Run(cfg RunConfig, trace *Trace) (Report, error) {
 		return time.Duration(arrivalRNG.ExpFloat64() / cfg.RPS * float64(time.Second))
 	}
 
+	// Snapshot the target's cumulative batch-size histogram around the
+	// window so the report carries this run's coalescing behaviour.
+	// Best-effort: a front tier without generation metrics yields nil.
+	histBefore, _ := fetchBatchHist(client, cfg.Target)
+
 	var (
 		wg      sync.WaitGroup
 		mu      sync.Mutex
@@ -119,6 +124,10 @@ func Run(cfg RunConfig, trace *Trace) (Report, error) {
 	wg.Wait()
 
 	rep := summarize(cfg, trace, results)
+	if histBefore != nil {
+		histAfter, _ := fetchBatchHist(client, cfg.Target)
+		rep.BatchSizeHist = diffBatchHist(histBefore, histAfter)
+	}
 	return rep, nil
 }
 

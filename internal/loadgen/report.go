@@ -41,6 +41,13 @@ type Report struct {
 	Reasons map[string]int `json:"reasons,omitempty"`
 
 	LatencyMs LatencyStats `json:"latency_ms"`
+
+	// BatchSizeHist is the delta of the target's realized-batch-size
+	// histogram (/debug/vars generate.batch_size_hist) across the replay
+	// window: how many requests each GenerateJobs call coalesced under this
+	// offered load. Omitted when the target does not expose it (a gendt-lb
+	// front) or no batch executed.
+	BatchSizeHist *serve.SizeHistogramSnap `json:"batch_size_hist,omitempty"`
 }
 
 // Saturation describes the knee found by a sweep.

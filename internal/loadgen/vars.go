@@ -1,0 +1,70 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"gendt/internal/serve"
+)
+
+// varsGenerate is the slice of gendt-serve's /debug/vars document the load
+// generator consumes. The Generate pointer distinguishes a tier that does
+// not expose generation metrics (a gendt-lb front) from one reporting zero
+// traffic.
+type varsGenerate struct {
+	Generate *struct {
+		BatchSizeHist serve.SizeHistogramSnap `json:"batch_size_hist"`
+	} `json:"generate"`
+}
+
+// fetchBatchHist reads the target's cumulative realized-batch-size
+// histogram from /debug/vars. Returns nil (no error) when the target does
+// not expose one.
+func fetchBatchHist(client *http.Client, target string) (*serve.SizeHistogramSnap, error) {
+	resp, err := client.Get(target + serve.EndpointVars)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: %s%s: status %d", target, serve.EndpointVars, resp.StatusCode)
+	}
+	var v varsGenerate
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, err
+	}
+	if v.Generate == nil {
+		return nil, nil
+	}
+	return &v.Generate.BatchSizeHist, nil
+}
+
+// diffBatchHist subtracts two cumulative batch-size snapshots, isolating
+// the batches executed between them (this replay window's coalescing
+// behaviour). Returns nil when either side is missing or nothing ran.
+func diffBatchHist(before, after *serve.SizeHistogramSnap) *serve.SizeHistogramSnap {
+	if before == nil || after == nil {
+		return nil
+	}
+	n := after.Count - before.Count
+	if n <= 0 {
+		return nil
+	}
+	d := &serve.SizeHistogramSnap{
+		Count:   n,
+		Mean:    (after.Mean*float64(after.Count) - before.Mean*float64(before.Count)) / float64(n),
+		Buckets: make(map[string]int64),
+	}
+	for k, v := range after.Buckets {
+		if dv := v - before.Buckets[k]; dv > 0 {
+			d.Buckets[k] = dv
+		}
+	}
+	return d
+}

@@ -1,6 +1,9 @@
 package nn
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+)
 
 // Frozen inference layers: immutable float32 (or int8) snapshots of the
 // trained float64 layers, shaped for the blocked kernels in kernels.go.
@@ -56,6 +59,53 @@ func (d *FrozenDense) Apply(x, y []float32, xq []int8) {
 	}
 }
 
+// BatchScratch is reusable scratch for ApplyBatch's int8 backend: the
+// per-lane dynamically quantized activations and their scales. The f32
+// backend never touches it. One scratch per batch state is enough — the
+// contents are dead once the matmul returns.
+type BatchScratch struct {
+	XQ     []int8
+	Scales []float32
+}
+
+// ApplyBatch is the batched Apply: y_b = W·x_b (+ bias) for nb lanes,
+// lane b's input at x[b*xStride:] and output at y[b*yStride:]. The f32
+// backend requires yStride >= PadRows (every batched caller sizes its
+// planes that way); each lane's result is bit-identical to a standalone
+// Apply on the same input, for both backends — the f32 GEMM preserves
+// GemvColF32's per-row accumulation order, and the int8 matmul is exact
+// in int32 with the same dequantization expression and bias loop.
+func (d *FrozenDense) ApplyBatch(x []float32, xStride int, y []float32, yStride, nb int, sc *BatchScratch) {
+	if d.W != nil {
+		if yStride < d.PadRows {
+			panic("nn: ApplyBatch yStride below PadRows")
+		}
+		GemmColF32(d.WT, d.PadRows, d.Cols, x, xStride, d.BiasPad, y, yStride, nb)
+		return
+	}
+	need := nb * d.Cols
+	if cap(sc.XQ) < need {
+		sc.XQ = make([]int8, need)
+	}
+	sc.XQ = sc.XQ[:need]
+	if cap(sc.Scales) < nb {
+		sc.Scales = make([]float32, nb)
+	}
+	sc.Scales = sc.Scales[:nb]
+	for b := 0; b < nb; b++ {
+		sc.Scales[b] = QuantizeVecInt8(x[b*xStride:b*xStride+d.Cols], sc.XQ[b*d.Cols:])
+	}
+	MatVecInt8Batch(d.Q, d.Rows, d.Cols, sc.XQ, d.Cols, d.RowScale, sc.Scales, y, yStride, nb)
+	if d.Bias != nil {
+		for b := 0; b < nb; b++ {
+			yb := y[b*yStride:]
+			for i, bv := range d.Bias[:d.Rows] {
+				yb[i] += bv
+			}
+		}
+	}
+}
+
 // newFrozenDense builds a FrozenDense from float64 row-major weights,
 // quantizing to int8 when quant is set.
 func newFrozenDense(w64 []float64, rows, cols int, bias64 []float64, quant bool) *FrozenDense {
@@ -102,6 +152,16 @@ type InferLSTM struct {
 	AH, AC     float32
 	Noise      bool
 	Gates      *FrozenDense // rows = 4H stacked [i; f; o; g], cols = In+H
+
+	// GatesSig/GatesG are row-slices of the same stacked gate matrix —
+	// the sigmoid block [i; f; o] (3H rows) and the tanh block g (H
+	// rows) — frozen separately so the batched path can run each
+	// activation as ONE vector call over a contiguous multi-lane plane.
+	// Per-row f32 packing and per-row int8 quantization are both
+	// row-independent, so these produce bit-identical outputs to the
+	// corresponding rows of the fused 4H matmul.
+	GatesSig *FrozenDense
+	GatesG   *FrozenDense
 }
 
 // FreezeLSTM repacks a trained LSTM's gate weights for the fused kernel.
@@ -124,7 +184,9 @@ func FreezeLSTM(l *LSTM, quant bool) *InferLSTM {
 	return &InferLSTM{
 		In: l.In, Hidden: H,
 		AH: float32(l.AH), AC: float32(l.AC), Noise: l.NoiseActive,
-		Gates: newFrozenDense(w64, 4*H, dstCols, bias64, quant),
+		Gates:    newFrozenDense(w64, 4*H, dstCols, bias64, quant),
+		GatesSig: newFrozenDense(w64[:3*H*dstCols], 3*H, dstCols, bias64[:3*H], quant),
+		GatesG:   newFrozenDense(w64[3*H*dstCols:], H, dstCols, bias64[3*H:], quant),
 	}
 }
 
@@ -210,6 +272,131 @@ func (l *InferLSTM) Step(st *InferLSTMState, rng *rand.Rand) []float32 {
 	return st.H
 }
 
+// InferLSTMBatchState holds the recurrent state and step scratch for nb
+// lockstep generation lanes over one shared InferLSTM. Every per-lane
+// buffer of InferLSTMState becomes a strided plane here — lane b's slice
+// starts at b×stride — so StepBatch can hand whole planes to the batched
+// matmul and run each gate activation as a single vector call across all
+// lanes, instead of nb short calls that each pay the kernel's setup cost.
+type InferLSTMBatchState struct {
+	nb, in, hid int
+	sx, ph, ps  int       // lane strides: xh, pad8(H), pad8(3H)
+	xh          []float32 // [nb][In+H] packed [x; h]; H(b) aliases the tail
+	cp          []float32 // [nb][pad8(H)] cell state, pad rows stay zero
+	tc          []float32 // [nb][pad8(H)] tanh(C) scratch
+	gt          []float32 // [nb][pad8(H)] tanh(g) scratch
+	zsig        []float32 // [nb][pad8(3H)] [i; f; o] pre-activations
+	zg          []float32 // [nb][pad8(H)] g pre-activations
+	sc          BatchScratch
+}
+
+// NewBatchState allocates a zeroed nb-lane batch state for this LSTM.
+func (l *InferLSTM) NewBatchState(nb int) *InferLSTMBatchState {
+	H := l.Hidden
+	st := &InferLSTMBatchState{
+		nb: nb, in: l.In, hid: H,
+		sx: l.In + H, ph: pad8(H), ps: pad8(3 * H),
+	}
+	st.xh = make([]float32, nb*st.sx)
+	st.cp = make([]float32, nb*st.ph)
+	st.tc = make([]float32, nb*st.ph)
+	st.gt = make([]float32, nb*st.ph)
+	st.zsig = make([]float32, nb*st.ps)
+	st.zg = make([]float32, nb*st.ph)
+	return st
+}
+
+// Lanes reports the state's capacity in lanes.
+func (st *InferLSTMBatchState) Lanes() int { return st.nb }
+
+// Input returns lane b's step-input slice (written in place, like
+// InferLSTMState.Input).
+func (st *InferLSTMBatchState) Input(b int) []float32 {
+	return st.xh[b*st.sx : b*st.sx+st.in]
+}
+
+// H returns lane b's hidden state (aliases the tail of the lane's xh).
+func (st *InferLSTMBatchState) H(b int) []float32 {
+	o := b*st.sx + st.in
+	return st.xh[o : o+st.hid : o+st.hid]
+}
+
+// HPlane returns the packed hidden-state plane and its lane stride (lane
+// b's H starts at b*stride), shaped for feeding a downstream
+// FrozenDense.ApplyBatch without copying.
+func (st *InferLSTMBatchState) HPlane() ([]float32, int) {
+	return st.xh[st.in:], st.sx
+}
+
+// C returns lane b's cell state.
+func (st *InferLSTMBatchState) C(b int) []float32 {
+	o := b * st.ph
+	return st.cp[o : o+st.hid : o+st.hid]
+}
+
+// ResetLane zeroes one lane's recurrent state for reuse by a new job.
+func (st *InferLSTMBatchState) ResetLane(b int) {
+	h, c := st.H(b), st.C(b)
+	for i := range h {
+		h[i] = 0
+		c[i] = 0
+	}
+}
+
+// StepBatch advances nb lanes one timestep in lockstep: two batched
+// matmuls (the [i; f; o] sigmoid block and the g tanh block, each
+// streaming the weights once for the whole batch), one vectorized tanh /
+// sigmoid pass per activation over the full multi-lane plane, then the
+// per-lane cell/hidden updates and stochastic modulation. active[b]
+// false freezes lane b: its gate pre-activations are still computed (the
+// GEMM is cheaper run dense than masked, and the results are simply
+// never read) but its C/H stay untouched and its rng draws nothing, so a
+// retired lane's state and RNG schedule are exactly as its last real
+// step left them. active == nil means all lanes live. Each live lane's
+// H/C after the call are bit-identical to a sequential Step with the
+// same inputs, state, and rng.
+func (l *InferLSTM) StepBatch(st *InferLSTMBatchState, nb int, active []bool, rngs []*rand.Rand) {
+	if nb > st.nb {
+		panic("nn: StepBatch lane count exceeds state capacity")
+	}
+	H := l.Hidden
+	l.GatesSig.ApplyBatch(st.xh, st.sx, st.zsig, st.ps, nb, &st.sc)
+	l.GatesG.ApplyBatch(st.xh, st.sx, st.zg, st.ph, nb, &st.sc)
+	// One activation call per plane. Pad lanes hold matmul zeros (f32) or
+	// stale scratch; the activations write dead values there that nothing
+	// reads — same contract as the sequential path's padded z regions.
+	TanhVecF32(st.gt[:nb*st.ph], st.zg[:nb*st.ph])
+	SigmoidVecF32(st.zsig[:nb*st.ps])
+	for b := 0; b < nb; b++ {
+		if active != nil && !active[b] {
+			continue
+		}
+		z := st.zsig[b*st.ps:]
+		zi, zf := z[:H], z[H:2*H]
+		gt := st.gt[b*st.ph:]
+		C := st.C(b)
+		for j := 0; j < H; j++ {
+			C[j] = zf[j]*C[j] + zi[j]*gt[j]
+		}
+	}
+	TanhVecF32(st.tc[:nb*st.ph], st.cp[:nb*st.ph])
+	for b := 0; b < nb; b++ {
+		if active != nil && !active[b] {
+			continue
+		}
+		zo := st.zsig[b*st.ps+2*H : b*st.ps+3*H]
+		tc := st.tc[b*st.ph:]
+		h := st.H(b)
+		for j := 0; j < H; j++ {
+			h[j] = zo[j] * tc[j]
+		}
+		if l.Noise && (l.AH > 0 || l.AC > 0) {
+			ModulateF32(h, l.AH, rngs[b])
+			ModulateF32(st.C(b), l.AC, rngs[b])
+		}
+	}
+}
+
 // ModulateF32 is the float32 mirror of LSTM.modulate (paper §A.2): add
 // centred uniform noise scaled by the vector's mean |v|, then renormalize
 // by the absolute-mass ratio clamped to [0.5, 2]. It consumes exactly
@@ -220,30 +407,22 @@ func ModulateF32(v []float32, a float32, rng *rand.Rand) {
 	if a <= 0 {
 		return
 	}
-	mean := float32(0)
+	// The mean pass and the old sumBefore accumulation were the same
+	// operand sequence, so one pass serves both. abs32 feeds the adds the
+	// bit-identical operand the old sign branches did (sum + (-x) for
+	// x < 0, x unchanged otherwise, -0.0 included), keeping this function
+	// byte-for-byte equal to its branchy predecessor.
+	sumBefore := float32(0)
 	for _, x := range v {
-		if x < 0 {
-			mean -= x
-		} else {
-			mean += x
-		}
+		sumBefore += abs32(x)
 	}
-	mean /= float32(len(v))
-	sumBefore, sumAfter := float32(0), float32(0)
+	mean := sumBefore / float32(len(v))
+	sumAfter := float32(0)
 	for i, x := range v {
 		n := float32(rng.Float64()-0.5) * mean
 		nv := x + a*n
 		v[i] = nv
-		if x < 0 {
-			sumBefore -= x
-		} else {
-			sumBefore += x
-		}
-		if nv < 0 {
-			sumAfter -= nv
-		} else {
-			sumAfter += nv
-		}
+		sumAfter += abs32(nv)
 	}
 	scale := float32(1)
 	if sumAfter > 1e-12 {
@@ -257,4 +436,9 @@ func ModulateF32(v []float32, a float32, rng *rand.Rand) {
 	for i := range v {
 		v[i] *= scale
 	}
+}
+
+// abs32 clears the sign bit: |x| without a branch, exact for -0.0.
+func abs32(x float32) float32 {
+	return math.Float32frombits(math.Float32bits(x) &^ (1 << 31))
 }

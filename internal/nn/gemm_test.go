@@ -1,0 +1,281 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The batched kernels' contract is EXACT equality with the single-lane
+// kernels, not closeness: the batched generation engine relies on it to
+// keep per-seed outputs byte-identical whether a job runs alone or in a
+// micro-batch. These tests therefore compare with ==, on both the asm
+// and the portable paths.
+
+func fillNorm(v []float32, rng *rand.Rand) {
+	for i := range v {
+		v[i] = float32(rng.NormFloat64())
+	}
+}
+
+func TestGemmColF32MatchesGemv(t *testing.T) {
+	withKernelFallback(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(11))
+		for _, rows := range []int{1, 5, 8, 12, 16, 31, 48, 70} {
+			rows8 := pad8(rows)
+			for _, cols := range []int{1, 2, 7, 19, 40} {
+				// nb spans below, at, and past the asm chunk width (4),
+				// including every ragged remainder 1..3.
+				for _, nb := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9} {
+					// Strides larger than the minimum mimic the batch
+					// state's planes (lane data separated by padding).
+					xStride := cols + 3
+					yStride := rows8 + 8
+					a := make([]float32, rows*cols)
+					x := make([]float32, nb*xStride)
+					bias := make([]float32, rows8)
+					fillNorm(a, rng)
+					fillNorm(x, rng)
+					fillNorm(bias[:rows], rng)
+					wt := PackColMajor(a, rows, cols)
+
+					y := make([]float32, nb*yStride)
+					GemmColF32(wt, rows8, cols, x, xStride, bias, y, yStride, nb)
+
+					yRef := make([]float32, rows8)
+					for b := 0; b < nb; b++ {
+						GemvColF32(wt, rows8, cols, x[b*xStride:b*xStride+cols], bias, yRef)
+						for r := 0; r < rows8; r++ {
+							if y[b*yStride+r] != yRef[r] {
+								t.Fatalf("%dx%d nb=%d lane %d row %d: GEMM %v != GEMV %v",
+									rows, cols, nb, b, r, y[b*yStride+r], yRef[r])
+							}
+						}
+						// The gap between lanes must stay untouched.
+						for r := rows8; r < yStride && b*yStride+r < len(y); r++ {
+							if y[b*yStride+r] != 0 {
+								t.Fatalf("%dx%d nb=%d lane %d: wrote past PadRows at %d", rows, cols, nb, b, r)
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestGemmColF32Naive(t *testing.T) {
+	withKernelFallback(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(12))
+		rows, cols, nb := 23, 17, 5
+		rows8 := pad8(rows)
+		a := make([]float32, rows*cols)
+		x := make([]float32, nb*cols)
+		bias := make([]float32, rows8)
+		fillNorm(a, rng)
+		fillNorm(x, rng)
+		fillNorm(bias[:rows], rng)
+		wt := PackColMajor(a, rows, cols)
+		y := make([]float32, nb*rows8)
+		GemmColF32(wt, rows8, cols, x, cols, bias, y, rows8, nb)
+		for b := 0; b < nb; b++ {
+			want := naiveMatVec(a, rows, cols, x[b*cols:(b+1)*cols])
+			for r := 0; r < rows; r++ {
+				ref := want[r] + bias[r]
+				diff := math.Abs(float64(y[b*rows8+r] - ref))
+				if diff > 1e-5*(1+math.Abs(float64(ref))) {
+					t.Fatalf("lane %d row %d: GEMM %v vs naive %v", b, r, y[b*rows8+r], ref)
+				}
+			}
+		}
+	})
+}
+
+func TestGemmColF32PanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for xStride < cols")
+		}
+	}()
+	GemmColF32(make([]float32, 8*3), 8, 3, make([]float32, 4), 2, make([]float32, 8), make([]float32, 16), 8, 2)
+}
+
+func TestMatVecInt8BatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, rows := range []int{1, 3, 9, 24} {
+		for _, cols := range []int{1, 4, 6, 21} {
+			for _, nb := range []int{1, 3, 5, 8} {
+				w := make([]float32, rows*cols)
+				fillNorm(w, rng)
+				q, rowScale := QuantizeRowsInt8(w, rows, cols)
+				xqStride := cols + 2
+				xq := make([]int8, nb*xqStride)
+				for i := range xq {
+					xq[i] = int8(rng.Intn(255) - 127)
+				}
+				scales := make([]float32, nb)
+				fillNorm(scales, rng)
+				yStride := rows + 3
+				y := make([]float32, nb*yStride)
+				MatVecInt8Batch(q, rows, cols, xq, xqStride, rowScale, scales, y, yStride, nb)
+				yRef := make([]float32, rows)
+				for b := 0; b < nb; b++ {
+					MatVecInt8(q, rows, cols, xq[b*xqStride:b*xqStride+cols], rowScale, scales[b], yRef)
+					for r := 0; r < rows; r++ {
+						if y[b*yStride+r] != yRef[r] {
+							t.Fatalf("%dx%d nb=%d lane %d row %d: batch %v != single %v",
+								rows, cols, nb, b, r, y[b*yStride+r], yRef[r])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApplyBatchMatchesApply(t *testing.T) {
+	withKernelFallback(t, func(t *testing.T) {
+		rng := rand.New(rand.NewSource(14))
+		l := NewLinear(13, 11, rng)
+		defer l.ClearCache()
+		for _, quant := range []bool{false, true} {
+			d := FreezeLinear(l, quant)
+			nb := 6
+			xStride := 13 + 2
+			yStride := d.PadRows + 4
+			x := make([]float32, nb*xStride)
+			fillNorm(x, rng)
+			y := make([]float32, nb*yStride)
+			var sc BatchScratch
+			d.ApplyBatch(x, xStride, y, yStride, nb, &sc)
+			yRef := make([]float32, d.PadRows)
+			xq := make([]int8, 13)
+			for b := 0; b < nb; b++ {
+				d.Apply(x[b*xStride:b*xStride+13], yRef, xq)
+				for r := 0; r < d.Rows; r++ {
+					if y[b*yStride+r] != yRef[r] {
+						t.Fatalf("quant=%v lane %d row %d: ApplyBatch %v != Apply %v",
+							quant, b, r, y[b*yStride+r], yRef[r])
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestStepBatchMatchesStep drives nb lockstep lanes and nb independent
+// sequential states with identical per-lane inputs and RNG seeds (noise
+// modulation on), asserting bit-identical H and C every step for both
+// precisions — the property the batched generation engine is built on.
+func TestStepBatchMatchesStep(t *testing.T) {
+	withKernelFallback(t, func(t *testing.T) {
+		setup := rand.New(rand.NewSource(15))
+		l := NewLSTM(5, 9, setup)
+		l.NoiseActive = true
+		defer l.ClearCache()
+		for _, quant := range []bool{false, true} {
+			fr := FreezeLSTM(l, quant)
+			const nb = 5
+			bst := fr.NewBatchState(nb)
+			rngs := make([]*rand.Rand, nb)
+			seqSt := make([]*InferLSTMState, nb)
+			seqRngs := make([]*rand.Rand, nb)
+			for b := 0; b < nb; b++ {
+				bst.ResetLane(b)
+				rngs[b] = rand.New(rand.NewSource(int64(100 + b)))
+				seqSt[b] = fr.NewState()
+				fr.Reset(seqSt[b])
+				seqRngs[b] = rand.New(rand.NewSource(int64(100 + b)))
+			}
+			inRng := rand.New(rand.NewSource(16))
+			for step := 0; step < 8; step++ {
+				// Lanes at and past their sequence end go inactive; the
+				// sequential twin simply stops stepping them.
+				active := make([]bool, nb)
+				for b := 0; b < nb; b++ {
+					active[b] = step < 4+b // lane b retires after 4+b steps
+				}
+				for b := 0; b < nb; b++ {
+					in := make([]float32, 5)
+					fillNorm(in, inRng)
+					if !active[b] {
+						continue
+					}
+					copy(bst.Input(b), in)
+					copy(seqSt[b].Input(5), in)
+				}
+				fr.StepBatch(bst, nb, active, rngs)
+				for b := 0; b < nb; b++ {
+					if !active[b] {
+						continue
+					}
+					fr.Step(seqSt[b], seqRngs[b])
+				}
+				for b := 0; b < nb; b++ {
+					h, c := bst.H(b), bst.C(b)
+					for j := 0; j < 9; j++ {
+						if h[j] != seqSt[b].H[j] {
+							t.Fatalf("quant=%v step %d lane %d h[%d]: batch %v != seq %v",
+								quant, step, b, j, h[j], seqSt[b].H[j])
+						}
+						if c[j] != seqSt[b].C[j] {
+							t.Fatalf("quant=%v step %d lane %d c[%d]: batch %v != seq %v",
+								quant, step, b, j, c[j], seqSt[b].C[j])
+						}
+					}
+				}
+			}
+			// Retired lanes drew nothing extra: the streams still agree.
+			for b := 0; b < nb; b++ {
+				if rngs[b].Int63() != seqRngs[b].Int63() {
+					t.Fatalf("quant=%v lane %d: batched RNG stream diverged", quant, b)
+				}
+			}
+		}
+	})
+}
+
+// FuzzGemmShapes hammers GemmColF32 with arbitrary shapes, strides, and
+// lane counts, asserting exact equality with per-lane GemvColF32 on both
+// kernel paths. Mirrors FuzzQuantize's wiring into the CI fuzz smoke.
+func FuzzGemmShapes(f *testing.F) {
+	f.Add(int8(3), int8(5), int8(4), int8(2), int8(1), int64(1))
+	f.Add(int8(16), int8(1), int8(9), int8(0), int8(0), int64(2))
+	f.Add(int8(1), int8(40), int8(7), int8(5), int8(3), int64(3))
+	f.Fuzz(func(t *testing.T, rowsIn, colsIn, nbIn, xPad, yPad int8, seed int64) {
+		rows := int(rowsIn)&63 + 1
+		cols := int(colsIn)&63 + 1
+		nb := int(nbIn)&15 + 1
+		rows8 := pad8(rows)
+		xStride := cols + int(xPad)&7
+		yStride := rows8 + (int(yPad)&7)*8
+		rng := rand.New(rand.NewSource(seed))
+		a := make([]float32, rows*cols)
+		x := make([]float32, nb*xStride)
+		bias := make([]float32, rows8)
+		fillNorm(a, rng)
+		fillNorm(x, rng)
+		fillNorm(bias[:rows], rng)
+		wt := PackColMajor(a, rows, cols)
+
+		check := func(t *testing.T) {
+			y := make([]float32, nb*yStride)
+			GemmColF32(wt, rows8, cols, x, xStride, bias, y, yStride, nb)
+			yRef := make([]float32, rows8)
+			for b := 0; b < nb; b++ {
+				GemvColF32(wt, rows8, cols, x[b*xStride:b*xStride+cols], bias, yRef)
+				for r := 0; r < rows8; r++ {
+					if y[b*yStride+r] != yRef[r] {
+						t.Fatalf("rows=%d cols=%d nb=%d lane %d row %d: GEMM %v != GEMV %v",
+							rows, cols, nb, b, r, y[b*yStride+r], yRef[r])
+					}
+				}
+			}
+		}
+		check(t)
+		saved := useAVX
+		useAVX = false
+		check(t)
+		useAVX = saved
+	})
+}

@@ -43,6 +43,17 @@ func xgetbv0() (lo, hi uint32)
 //go:noescape
 func gemvColAsm(wt, x, bias, y *float32, rowsBytes, cols int64)
 
+// gemmCol4Asm computes y_b = bias + W·x_b for exactly four input lanes
+// over the same column-major weight mirror gemvColAsm uses, loading each
+// weight tile once per column and FMAing it against four broadcast x
+// elements. Lane b reads x + b·xStrideBytes and writes y + b·yStrideBytes.
+// Per lane the per-element operation sequence (bias init, one FMA per
+// ascending column) is identical to gemvColAsm, so the two kernels are
+// bit-identical per lane.
+//
+//go:noescape
+func gemmCol4Asm(wt, x, bias, y *float32, rowsBytes, cols, xStrideBytes, yStrideBytes int64)
+
 // vsigAsm computes dst[i] = a/(1+e^t)+b with t = clamp(negScale·src[i],
 // ±87) for i < n, n % 8 == 0, n >= 8 — the shared core of the
 // vectorized sigmoid (negScale,a,b = -1,1,0) and tanh (-2,2,-1).

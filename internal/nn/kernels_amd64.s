@@ -94,6 +94,126 @@ done:
 	VZEROUPPER
 	RET
 
+// func gemmCol4Asm(wt, x, bias, y *float32, rowsBytes, cols, xStrideBytes, yStrideBytes int64)
+//
+// Four-lane batched gemvColAsm: y_b = bias + W·x_b for b in 0..3 with
+// lane b's x at x + b*xStrideBytes and its y at y + b*yStrideBytes. The
+// row dimension is walked in 16-float tiles: eight YMM accumulators (two
+// row halves × four lanes, initialized from bias), two weight registers
+// loaded once per column and FMAed against four broadcast x elements —
+// so each weight byte is streamed from memory once per four sequences
+// instead of once per sequence, which is the whole point of the batched
+// path. Per lane the per-element schedule (bias init, one FMA per
+// ascending column) matches gemvColAsm exactly, keeping the two kernels
+// bit-identical per lane.
+TEXT ·gemmCol4Asm(SB), NOSPLIT, $0-64
+	MOVQ wt+0(FP), DI
+	MOVQ x+8(FP), SI
+	MOVQ bias+16(FP), R15
+	MOVQ y+24(FP), DX
+	MOVQ rowsBytes+32(FP), CX
+	MOVQ cols+40(FP), BX
+	MOVQ xStrideBytes+48(FP), R12
+	MOVQ yStrideBytes+56(FP), R13
+	XORQ R8, R8                // byte offset into the row dimension
+
+gtile16:
+	MOVQ CX, AX
+	SUBQ R8, AX
+	CMPQ AX, $64
+	JLT  gtile8
+	VMOVUPS 0(R15)(R8*1), Y0   // accumulators start at the bias
+	VMOVUPS 32(R15)(R8*1), Y1
+	VMOVAPS Y0, Y2             // lanes 1..3 start from the same bias
+	VMOVAPS Y1, Y3
+	VMOVAPS Y0, Y4
+	VMOVAPS Y1, Y5
+	VMOVAPS Y0, Y6
+	VMOVAPS Y1, Y7
+	LEAQ (DI)(R8*1), R9        // this tile's rows in column 0
+	MOVQ SI, R10               // lane-0 x cursor
+	LEAQ (SI)(R12*2), R14
+	ADDQ R12, R14              // lane-3 x cursor
+	MOVQ BX, R11               // columns remaining
+
+gcol16:
+	VMOVUPS 0(R9), Y8          // weight tile, shared by all four lanes
+	VMOVUPS 32(R9), Y9
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VFMADD231PS Y9, Y10, Y1
+	VBROADCASTSS (R10)(R12*1), Y10
+	VFMADD231PS Y8, Y10, Y2
+	VFMADD231PS Y9, Y10, Y3
+	VBROADCASTSS (R10)(R12*2), Y10
+	VFMADD231PS Y8, Y10, Y4
+	VFMADD231PS Y9, Y10, Y5
+	VBROADCASTSS (R14), Y10
+	VFMADD231PS Y8, Y10, Y6
+	VFMADD231PS Y9, Y10, Y7
+	ADDQ CX, R9
+	ADDQ $4, R10
+	ADDQ $4, R14
+	DECQ R11
+	JNE  gcol16
+	LEAQ (DX)(R8*1), AX        // store the tile into each lane's y
+	VMOVUPS Y0, 0(AX)
+	VMOVUPS Y1, 32(AX)
+	ADDQ R13, AX
+	VMOVUPS Y2, 0(AX)
+	VMOVUPS Y3, 32(AX)
+	ADDQ R13, AX
+	VMOVUPS Y4, 0(AX)
+	VMOVUPS Y5, 32(AX)
+	ADDQ R13, AX
+	VMOVUPS Y6, 0(AX)
+	VMOVUPS Y7, 32(AX)
+	ADDQ $64, R8
+	JMP  gtile16
+
+gtile8:
+	CMPQ R8, CX
+	JGE  gdone
+	VMOVUPS (R15)(R8*1), Y0
+	VMOVAPS Y0, Y2
+	VMOVAPS Y0, Y4
+	VMOVAPS Y0, Y6
+	LEAQ (DI)(R8*1), R9
+	MOVQ SI, R10
+	LEAQ (SI)(R12*2), R14
+	ADDQ R12, R14
+	MOVQ BX, R11
+
+gcol8:
+	VMOVUPS (R9), Y8
+	VBROADCASTSS (R10), Y10
+	VFMADD231PS Y8, Y10, Y0
+	VBROADCASTSS (R10)(R12*1), Y10
+	VFMADD231PS Y8, Y10, Y2
+	VBROADCASTSS (R10)(R12*2), Y10
+	VFMADD231PS Y8, Y10, Y4
+	VBROADCASTSS (R14), Y10
+	VFMADD231PS Y8, Y10, Y6
+	ADDQ CX, R9
+	ADDQ $4, R10
+	ADDQ $4, R14
+	DECQ R11
+	JNE  gcol8
+	LEAQ (DX)(R8*1), AX
+	VMOVUPS Y0, (AX)
+	ADDQ R13, AX
+	VMOVUPS Y2, (AX)
+	ADDQ R13, AX
+	VMOVUPS Y4, (AX)
+	ADDQ R13, AX
+	VMOVUPS Y6, (AX)
+	ADDQ $32, R8
+	JMP  gtile8
+
+gdone:
+	VZEROUPPER
+	RET
+
 // Broadcast scalars for vsigAsm (loaded with VBROADCASTSS).
 DATA vsigHi<>+0(SB)/4, $0x42ae0000     // +87.0
 GLOBL vsigHi<>(SB), RODATA|NOPTR, $4

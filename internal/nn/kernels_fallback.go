@@ -11,6 +11,10 @@ func gemvColAsm(wt, x, bias, y *float32, rowsBytes, cols int64) {
 	panic("nn: gemvColAsm without AVX support")
 }
 
+func gemmCol4Asm(wt, x, bias, y *float32, rowsBytes, cols, xStrideBytes, yStrideBytes int64) {
+	panic("nn: gemmCol4Asm without AVX support")
+}
+
 func vsigAsm(dst, src *float32, n int64, negScale, a, b float32) {
 	panic("nn: vsigAsm without AVX support")
 }

@@ -41,6 +41,12 @@ type Batcher struct {
 	// side while admitting, Close takes the write side to flip closed.
 	drain  sync.RWMutex
 	closed bool
+
+	// batchBuf/jobsBuf are the run loop's reusable batch assembly buffers
+	// (only the single run goroutine touches them): steady-state batching
+	// allocates nothing per batch beyond the results themselves.
+	batchBuf []*batchItem
+	jobsBuf  []core.GenJob
 }
 
 // DefaultMaxBatch bounds the jobs coalesced into one GenerateJobs call.
@@ -118,7 +124,8 @@ func (b *Batcher) run() {
 // collect gathers the current batch: the triggering item plus whatever
 // else arrives within the window, up to the job cap.
 func (b *Batcher) collect(first *batchItem) []*batchItem {
-	batch := []*batchItem{first}
+	batch := append(b.batchBuf[:0], first)
+	defer func() { b.batchBuf = batch }()
 	jobs := len(first.jobs)
 	if b.window <= 0 {
 		for jobs < b.max {
@@ -153,18 +160,20 @@ func (b *Batcher) collect(first *batchItem) []*batchItem {
 }
 
 func (b *Batcher) execute(batch []*batchItem) {
-	var jobs []core.GenJob
+	jobs := b.jobsBuf[:0]
 	for _, it := range batch {
 		jobs = append(jobs, it.jobs...)
 	}
+	b.jobsBuf = jobs
 	start := time.Now()
 	outs := b.model().GenerateJobs(jobs)
 	if b.met != nil {
 		b.met.ObserveBatch(len(batch), len(jobs), time.Since(start))
 	}
 	off := 0
-	for _, it := range batch {
+	for i, it := range batch {
 		it.done <- outs[off : off+len(it.jobs)]
 		off += len(it.jobs)
+		batch[i] = nil // don't retain delivered items across batches
 	}
 }

@@ -60,6 +60,55 @@ func (h *Histogram) Snapshot() HistogramSnap {
 // Bucket bounds are integral milliseconds.
 func fmtMs(v float64) string { return strconv.Itoa(int(v)) }
 
+// sizeBuckets are the upper bounds of the realized-batch-size histogram
+// (requests coalesced per GenerateJobs call); the final implicit bucket
+// is +Inf. Powers of two up to DefaultMaxBatch — a batch of 1 means no
+// coalescing happened, the top buckets mean the window is doing its job.
+var sizeBuckets = [...]int64{1, 2, 4, 8, 16, 32, 64}
+
+// SizeHistogram counts integer observations in fixed power-of-two
+// buckets; safe for concurrent use. The zero value is ready to use.
+type SizeHistogram struct {
+	counts [len(sizeBuckets) + 1]atomic.Int64
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+func (h *SizeHistogram) Observe(v int) {
+	i := 0
+	for i < len(sizeBuckets) && int64(v) > sizeBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v))
+	h.n.Add(1)
+}
+
+// SizeHistogramSnap is the JSON rendering of a SizeHistogram.
+type SizeHistogramSnap struct {
+	Count   int64            `json:"count"`
+	Mean    float64          `json:"mean"`
+	Buckets map[string]int64 `json:"buckets_le"`
+}
+
+// Snapshot renders the histogram's current counts.
+func (h *SizeHistogram) Snapshot() SizeHistogramSnap {
+	s := SizeHistogramSnap{Buckets: make(map[string]int64, len(sizeBuckets)+1)}
+	s.Count = h.n.Load()
+	if s.Count > 0 {
+		s.Mean = float64(h.sum.Load()) / float64(s.Count)
+	}
+	for i, b := range sizeBuckets {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets[strconv.FormatInt(b, 10)] = n
+		}
+	}
+	if n := h.counts[len(sizeBuckets)].Load(); n > 0 {
+		s.Buckets["+Inf"] = n
+	}
+	return s
+}
+
 // endpointStats tracks one endpoint's request count, error count, in-flight
 // gauge, and latency histogram.
 type endpointStats struct {
@@ -84,13 +133,14 @@ type Metrics struct {
 	endpoints map[string]*endpointStats // fixed key set, created upfront
 
 	// Generation-specific counters.
-	GenerateNs      atomic.Int64 // cumulative ns spent inside GenerateJobs
-	GenerateSamples atomic.Int64 // samples generated (jobs executed)
-	Batches         atomic.Int64 // GenerateJobs calls issued by the batcher
-	BatchedRequests atomic.Int64 // requests that shared a batch with >=1 other
-	MaxBatch        atomic.Int64 // largest coalesced batch observed (requests)
-	PrepHits        atomic.Int64 // prepared-sequence cache hits
-	PrepMisses      atomic.Int64 // prepared-sequence cache misses
+	GenerateNs      atomic.Int64  // cumulative ns spent inside GenerateJobs
+	GenerateSamples atomic.Int64  // samples generated (jobs executed)
+	Batches         atomic.Int64  // GenerateJobs calls issued by the batcher
+	BatchedRequests atomic.Int64  // requests that shared a batch with >=1 other
+	MaxBatch        atomic.Int64  // largest coalesced batch observed (requests)
+	BatchSize       SizeHistogram // realized batch sizes (requests per batch)
+	PrepHits        atomic.Int64  // prepared-sequence cache hits
+	PrepMisses      atomic.Int64  // prepared-sequence cache misses
 }
 
 // NewMetrics creates the metrics state for the given endpoint names.
@@ -114,6 +164,7 @@ func (m *Metrics) ObserveBatch(n, samples int, d time.Duration) {
 	if n > 1 {
 		m.BatchedRequests.Add(int64(n))
 	}
+	m.BatchSize.Observe(n)
 	for {
 		cur := m.MaxBatch.Load()
 		if int64(n) <= cur || m.MaxBatch.CompareAndSwap(cur, int64(n)) {
@@ -128,13 +179,14 @@ type varsSnap struct {
 	Endpoints map[string]endpointSnap `json:"endpoints"`
 
 	Generate struct {
-		Samples         int64   `json:"samples"`
-		NsPerSample     float64 `json:"ns_per_sample"`
-		Batches         int64   `json:"batches"`
-		BatchedRequests int64   `json:"batched_requests"`
-		MaxBatch        int64   `json:"max_batch"`
-		PrepCacheHits   int64   `json:"prep_cache_hits"`
-		PrepCacheMisses int64   `json:"prep_cache_misses"`
+		Samples         int64             `json:"samples"`
+		NsPerSample     float64           `json:"ns_per_sample"`
+		Batches         int64             `json:"batches"`
+		BatchedRequests int64             `json:"batched_requests"`
+		MaxBatch        int64             `json:"max_batch"`
+		BatchSizeHist   SizeHistogramSnap `json:"batch_size_hist"`
+		PrepCacheHits   int64             `json:"prep_cache_hits"`
+		PrepCacheMisses int64             `json:"prep_cache_misses"`
 	} `json:"generate"`
 
 	Runtime struct {
@@ -167,6 +219,7 @@ func (m *Metrics) Snapshot() varsSnap {
 	s.Generate.Batches = m.Batches.Load()
 	s.Generate.BatchedRequests = m.BatchedRequests.Load()
 	s.Generate.MaxBatch = m.MaxBatch.Load()
+	s.Generate.BatchSizeHist = m.BatchSize.Snapshot()
 	s.Generate.PrepCacheHits = m.PrepHits.Load()
 	s.Generate.PrepCacheMisses = m.PrepMisses.Load()
 

@@ -40,6 +40,7 @@ func metamorphicChecks(g core.Generator, routes []dataset.Run, seqs []*core.Sequ
 		checkSeedDeterminismHTTP(g, routes[0].Traj, opts, rep)
 	}
 	checkPermutationInvariance(g, seqs, opts, rep)
+	checkBatchedEngineIdentity(g, seqs, opts, rep)
 	checkTruncationConsistency(g, seqs[0], opts, rep)
 	checkMonotonicRSRPDistance(g, routes[0].Traj, opts, rep)
 	checkMonotonicSINRLoad(g, seqs[0], opts, rep)
@@ -187,6 +188,47 @@ func checkPermutationInvariance(g core.Generator, seqs []*core.Sequence, opts Op
 	rep.add(CheckResult{
 		Name: "meta/permutation-invariance", Passed: true,
 		Detail: fmt.Sprintf("%d jobs forward vs reversed", len(jobs)),
+	})
+}
+
+// checkBatchedEngineIdentity: the frozen backends' lockstep batched-GEMM
+// engine must be a pure execution-schedule change — GenerateJobs with
+// batching on (the default) and off (the -batch-gemm escape hatch) must be
+// bit-identical, over a job mix whose uneven lengths force ragged lane
+// retirement inside the micro-batch. Live f64 models have no batched
+// engine, so the check skips there.
+func checkBatchedEngineIdentity(g core.Generator, seqs []*core.Sequence, opts Options, rep *Report) {
+	const name = "meta/batched-engine-identity"
+	im, ok := g.(*core.InferModel)
+	if !ok {
+		rep.skip(name, "live f64 backend has no batched engine")
+		return
+	}
+	var jobs []core.GenJob
+	for i := 0; i < 10; i++ { // > one micro-batch, non-multiple of its width
+		seq := seqs[i%len(seqs)]
+		if cut := seq.Len() - i; i%2 == 1 && cut > 0 {
+			seq = &core.Sequence{
+				KPIs: seq.KPIs[:cut], Cells: seq.Cells[:cut], Env: seq.Env[:cut],
+				Raw: seq.Raw[:cut], Interval: seq.Interval,
+			}
+		}
+		jobs = append(jobs, core.GenJob{Seq: seq, Seed: core.DeriveSeed(opts.Seed, 100+i)})
+	}
+	batched := im.WithWorkers(opts.Workers).GenerateJobs(jobs)
+	unbatched := im.WithBatch(false).WithWorkers(opts.Workers).GenerateJobs(jobs)
+	for i := range jobs {
+		if ok, detail := seriesEqual(batched[i], unbatched[i]); !ok {
+			rep.add(CheckResult{
+				Name: name, Passed: false,
+				Detail: fmt.Sprintf("job %d (T=%d): batch-on vs batch-off: %s", i, jobs[i].Seq.Len(), detail),
+			})
+			return
+		}
+	}
+	rep.add(CheckResult{
+		Name: name, Passed: true,
+		Detail: fmt.Sprintf("%d mixed-length jobs, batched engine vs job-at-a-time", len(jobs)),
 	})
 }
 

@@ -268,3 +268,46 @@ func TestLoadAwareSINRCheck(t *testing.T) {
 		t.Fatalf("meta/monotonic-sinr-load failed: %s", c)
 	}
 }
+
+// TestBatchedEngineIdentityCheck: the batched-engine invariant must run
+// (not skip) for frozen backends and pass, and must skip for the live f64
+// model, which has no batched engine.
+func TestBatchedEngineIdentityCheck(t *testing.T) {
+	ds, m := setup(t)
+	find := func(rep *Report) (CheckResult, bool) {
+		for _, c := range rep.Checks {
+			if c.Name == "meta/batched-engine-identity" {
+				return c, true
+			}
+		}
+		return CheckResult{}, false
+	}
+	for _, p := range []core.Precision{core.PrecisionF32, core.PrecisionInt8} {
+		opts := fixOpts(ds)
+		opts.SkipHTTP = true
+		opts.Precision = p
+		rep, err := Run(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, ok := find(rep)
+		if !ok {
+			t.Fatalf("%s: meta/batched-engine-identity missing:\n%s", p, rep)
+		}
+		if c.Skipped {
+			t.Fatalf("%s: skipped for frozen backend: %s", p, c.Detail)
+		}
+		if !c.Passed {
+			t.Fatalf("%s: failed: %s", p, c)
+		}
+	}
+	opts := fixOpts(ds)
+	opts.SkipHTTP = true
+	rep, err := Run(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := find(rep); !ok || !c.Skipped {
+		t.Fatalf("f64: want skipped check, got %+v", c)
+	}
+}
