@@ -11,6 +11,11 @@
 #       -golden validate/golden/gate-a.json -update-golden
 # after retraining with $TRAIN_ARGS below; the derivation is deterministic,
 # so a regeneration with an unchanged model is a no-op diff.
+#
+# A second, lighter section repeats the train -> pass -> corrupt-must-fail
+# -> golden-stable loop on the NR5G scenario, whose world exists only as a
+# declarative config (scenarios/nr5g-dense.toml) — proving the scenario
+# DSL pipeline feeds the same statistical gate as the hard-coded datasets.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -134,4 +139,45 @@ if ! cmp -s "$GOLDEN" "$work/golden.orig"; then
     exit 1
 fi
 
-echo "statistical gate: pass on healthy, fail on corrupted, golden stable"
+echo "=== statistical gate: NR5G scenario (config-defined world) ==="
+# Same teeth, different world: NR5G is compiled from a committed scenario
+# config rather than a hard-coded constructor. Must match the parameters
+# validate/golden/gate-nr5g.json was derived under.
+NR_TRAIN_ARGS=(-dataset NR5G -scale 0.05 -seed 7 -channels rsrp,rsrq
+    -epochs 2 -hidden 12 -batch 12 -step 6 -maxcells 6 -workers 2)
+NR_GATE_ARGS=(-dataset NR5G -scale 0.05 -seed 7)
+NR_GOLDEN=validate/golden/gate-nr5g.json
+
+"$work/gendt-train" "${NR_TRAIN_ARGS[@]}" -out "$work/model-nr5g.json" -fingerprint
+
+echo "--- NR5G: healthy model must pass"
+"$work/gendt-validate" -model "$work/model-nr5g.json" "${NR_GATE_ARGS[@]}" \
+    -golden "$NR_GOLDEN" | tee "$work/pass-nr5g.log"
+
+echo "--- NR5G: corrupted model must fail"
+if "$work/gendt-validate" -model "$work/model-nr5g.json" "${NR_GATE_ARGS[@]}" \
+    -golden "$NR_GOLDEN" -corrupt 0.5 >"$work/fail-nr5g.log" 2>&1; then
+    echo "FAIL: NR5G gate passed a noise-corrupted model"
+    cat "$work/fail-nr5g.log"
+    exit 1
+fi
+if ! grep -q '^FAIL dist/' "$work/fail-nr5g.log"; then
+    echo "FAIL: corrupted NR5G run exited non-zero but named no failing dist/ check"
+    cat "$work/fail-nr5g.log"
+    exit 1
+fi
+echo "corrupted NR5G model rejected with named checks:"
+grep '^FAIL ' "$work/fail-nr5g.log" | sort -u
+
+echo "--- NR5G: golden regeneration is a no-op"
+cp "$NR_GOLDEN" "$work/golden-nr5g.orig"
+"$work/gendt-validate" -model "$work/model-nr5g.json" "${NR_GATE_ARGS[@]}" \
+    -golden "$NR_GOLDEN" -update-golden >/dev/null
+if ! cmp -s "$NR_GOLDEN" "$work/golden-nr5g.orig"; then
+    echo "FAIL: regenerated NR5G golden differs from the committed file"
+    diff "$work/golden-nr5g.orig" "$NR_GOLDEN" || true
+    cp "$work/golden-nr5g.orig" "$NR_GOLDEN"
+    exit 1
+fi
+
+echo "statistical gate: pass on healthy, fail on corrupted, golden stable (A + NR5G)"

@@ -1,10 +1,12 @@
-// Command gendt-dataset synthesizes the Dataset A / Dataset B analogues,
-// prints their Table 1/2 statistics, and optionally exports the
-// measurement runs as CSV.
+// Command gendt-dataset synthesizes a registered scenario (the Dataset
+// A/B analogues or any other committed scenario config), prints its
+// Table 1/2-style statistics, and optionally exports the measurement runs
+// as CSV.
 //
 // Usage:
 //
-//	gendt-dataset [-dataset A|B] [-scale F] [-seed N] [-csv DIR]
+//	gendt-dataset [-dataset NAME] [-scenario-file F.toml] [-scale F]
+//	              [-seed N] [-csv DIR]
 package main
 
 import (
@@ -15,24 +17,25 @@ import (
 
 	"gendt/internal/dataset"
 	"gendt/internal/export"
+	"gendt/internal/scenario"
 )
 
 func main() {
-	which := flag.String("dataset", "A", "dataset to synthesize: A or B")
+	which := flag.String("dataset", "A", "registered scenario name (A, B, NR5G, Tunnel, Suburb, ...)")
+	scenarioFile := flag.String("scenario-file", "", "load a scenario config file; it is registered under its [scenario] name and becomes the default -dataset")
 	scale := flag.Float64("scale", 0.1, "scale relative to the paper's sample counts")
 	seed := flag.Int64("seed", 1, "random seed")
 	csvDir := flag.String("csv", "", "directory to export runs as CSV (optional)")
 	flag.Parse()
 
-	spec := dataset.Spec{Seed: *seed, Scale: *scale}
-	var d *dataset.Dataset
-	switch *which {
-	case "A", "a":
-		d = dataset.NewDatasetA(spec)
-	case "B", "b":
-		d = dataset.NewDatasetB(spec)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *which)
+	name, err := resolveScenario(*which, *scenarioFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-dataset:", err)
+		os.Exit(2)
+	}
+	d, err := dataset.NewByName(name, dataset.Spec{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-dataset:", err)
 		os.Exit(2)
 	}
 
@@ -61,6 +64,29 @@ func main() {
 			fmt.Printf("wrote %s (%d samples)\n", path, len(r.Meas))
 		}
 	}
+}
+
+// resolveScenario registers -scenario-file (if given) and picks the
+// dataset name: an explicit -dataset wins, otherwise the loaded file's
+// [scenario] name is used.
+func resolveScenario(name, file string) (string, error) {
+	if file == "" {
+		return name, nil
+	}
+	sc, err := scenario.RegisterFile(file)
+	if err != nil {
+		return "", err
+	}
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dataset" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return name, nil
+	}
+	return sc.Name, nil
 }
 
 func sanitize(s string) string {

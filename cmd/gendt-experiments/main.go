@@ -4,10 +4,14 @@
 // Usage:
 //
 //	gendt-experiments [-scale quick|default] [-seed N] [-workers N]
+//	                  [-dataset NAME] [-scenario-file F.toml]
 //	                  [-cpuprofile F] [-memprofile F] [experiment ...]
 //
 // Experiments: table1 table2 fig1 fig4 fig16 table3 table4 table5 table6
 // table7 table8 fig9 fig10 fig11 table9 table10 table12 fig18, or "all".
+// The "scenario" experiment prints Table 1/2-style statistics for the
+// scenario named by -dataset (or loaded via -scenario-file); passing
+// -scenario-file with no experiment list runs exactly that.
 package main
 
 import (
@@ -23,11 +27,14 @@ import (
 	"gendt/internal/dataset"
 	"gendt/internal/experiments"
 	"gendt/internal/plot"
+	"gendt/internal/scenario"
 )
 
 func main() {
 	scale := flag.String("scale", "default", "experiment scale: quick or default")
 	seed := flag.Int64("seed", 1, "master random seed")
+	which := flag.String("dataset", "A", "registered scenario name for the \"scenario\" experiment")
+	scenarioFile := flag.String("scenario-file", "", "load a scenario config file; it is registered under its [scenario] name and becomes the default -dataset")
 	svgDir := flag.String("svg", "", "directory to also write figure SVGs (optional)")
 	epochs := flag.Int("epochs", 0, "override GenDT training epochs (0 = scale preset)")
 	workers := flag.Int("workers", -1, "data-parallel workers (-1 = scale preset, 0 = NumCPU, 1 = serial)")
@@ -75,7 +82,16 @@ func main() {
 		opt.Workers = *workers
 	}
 
+	scenName, err := resolveScenario(*which, *scenarioFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-experiments:", err)
+		os.Exit(2)
+	}
+
 	ids := flag.Args()
+	if len(ids) == 0 && *scenarioFile != "" {
+		ids = []string{"scenario"}
+	}
 	if len(ids) == 0 || (len(ids) == 1 && ids[0] == "all") {
 		// table3/table5 print tables 4/6 too (shared training), so the
 		// default list names each computation once.
@@ -86,7 +102,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := run(id, opt, *svgDir)
+		out, err := run(id, opt, *svgDir, scenName)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
@@ -113,6 +129,29 @@ func writeMemProfile(path string) {
 	}
 }
 
+// resolveScenario registers -scenario-file (if given) and picks the
+// scenario name: an explicit -dataset wins, otherwise the loaded file's
+// [scenario] name is used.
+func resolveScenario(name, file string) (string, error) {
+	if file == "" {
+		return name, nil
+	}
+	sc, err := scenario.RegisterFile(file)
+	if err != nil {
+		return "", err
+	}
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dataset" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return name, nil
+	}
+	return sc.Name, nil
+}
+
 // writeSVG writes a figure SVG when an output directory was requested.
 func writeSVG(dir, name, svg string) {
 	if dir == "" {
@@ -126,8 +165,14 @@ func writeSVG(dir, name, svg string) {
 	fmt.Println("wrote", path)
 }
 
-func run(id string, opt experiments.Options, svgDir string) (string, error) {
+func run(id string, opt experiments.Options, svgDir, scenName string) (string, error) {
 	switch strings.ToLower(id) {
+	case "scenario":
+		stats, err := experiments.ScenarioTable(opt, scenName)
+		if err != nil {
+			return "", err
+		}
+		return experiments.RenderStats(fmt.Sprintf("Scenario %s statistics", scenName), stats), nil
 	case "table1":
 		return experiments.RenderStats("Table 1: Dataset A statistics", experiments.Table1(opt)), nil
 	case "table2":

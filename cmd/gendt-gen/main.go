@@ -6,25 +6,26 @@
 //
 // Usage:
 //
-//	gendt-gen -model model.json [-dataset A|B] [-scale F] [-seed N]
-//	          [-run N] [-out series.json] [-samples N]
+//	gendt-gen -model model.json [-dataset NAME] [-scenario-file F.toml]
+//	          [-scale F] [-seed N] [-run N] [-out series.json] [-samples N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"gendt/internal/core"
 	"gendt/internal/dataset"
 	"gendt/internal/export"
 	"gendt/internal/metrics"
+	"gendt/internal/scenario"
 )
 
 func main() {
 	modelPath := flag.String("model", "gendt-model.json", "trained model path")
-	which := flag.String("dataset", "A", "dataset: A or B")
+	which := flag.String("dataset", "A", "registered scenario name (A, B, NR5G, Tunnel, Suburb, ...)")
+	scenarioFile := flag.String("scenario-file", "", "load a scenario config file; it is registered under its [scenario] name and becomes the default -dataset")
 	scale := flag.Float64("scale", 0.05, "dataset scale (must match training for the same world)")
 	seed := flag.Int64("seed", 1, "random seed (must match training for the same world)")
 	runIdx := flag.Int("run", 0, "index into the test runs")
@@ -38,15 +39,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	spec := dataset.Spec{Seed: *seed, Scale: *scale}
-	var d *dataset.Dataset
-	switch strings.ToUpper(*which) {
-	case "A":
-		d = dataset.NewDatasetA(spec)
-	case "B":
-		d = dataset.NewDatasetB(spec)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *which)
+	dsName, err := resolveScenario(*which, *scenarioFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-gen:", err)
+		os.Exit(2)
+	}
+	d, err := dataset.NewByName(dsName, dataset.Spec{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-gen:", err)
 		os.Exit(2)
 	}
 	var run dataset.Run
@@ -133,4 +133,27 @@ func maxOf(xs []float64) float64 {
 		}
 	}
 	return m
+}
+
+// resolveScenario registers -scenario-file (if given) and picks the
+// dataset name: an explicit -dataset wins, otherwise the loaded file's
+// [scenario] name is used.
+func resolveScenario(name, file string) (string, error) {
+	if file == "" {
+		return name, nil
+	}
+	sc, err := scenario.RegisterFile(file)
+	if err != nil {
+		return "", err
+	}
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dataset" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return name, nil
+	}
+	return sc.Name, nil
 }

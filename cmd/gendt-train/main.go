@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	gendt-train -out model.json [-dataset A|B] [-scale F] [-seed N]
+//	gendt-train -out model.json [-dataset NAME] [-scenario-file F.toml]
+//	            [-scale F] [-seed N]
 //	            [-channels rsrp,rsrq,sinr,cqi] [-epochs N] [-hidden N]
 //	            [-workers N] [-cpuprofile F] [-memprofile F]
 //	            [-checkpoint-dir DIR] [-checkpoint-every N] [-checkpoint-keep K]
@@ -25,11 +26,13 @@ import (
 	"gendt/internal/ckpt"
 	"gendt/internal/core"
 	"gendt/internal/dataset"
+	"gendt/internal/scenario"
 )
 
 func main() {
 	out := flag.String("out", "gendt-model.json", "output model path")
-	which := flag.String("dataset", "A", "dataset: A or B")
+	which := flag.String("dataset", "A", "registered scenario name (A, B, NR5G, Tunnel, Suburb, ...)")
+	scenarioFile := flag.String("scenario-file", "", "load a scenario config file; it is registered under its [scenario] name and becomes the default -dataset")
 	scale := flag.Float64("scale", 0.05, "dataset scale")
 	seed := flag.Int64("seed", 1, "random seed")
 	channels := flag.String("channels", "rsrp,rsrq,sinr,cqi", "comma-separated channels (rsrp,rsrq,sinr,cqi,servingrank)")
@@ -73,15 +76,14 @@ func main() {
 		chans = append(chans, ch)
 	}
 
-	spec := dataset.Spec{Seed: *seed, Scale: *scale}
-	var d *dataset.Dataset
-	switch strings.ToUpper(*which) {
-	case "A":
-		d = dataset.NewDatasetA(spec)
-	case "B":
-		d = dataset.NewDatasetB(spec)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *which)
+	dsName, err := resolveScenario(*which, *scenarioFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-train:", err)
+		os.Exit(2)
+	}
+	d, err := dataset.NewByName(dsName, dataset.Spec{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-train:", err)
 		os.Exit(2)
 	}
 
@@ -194,6 +196,29 @@ func writeMemProfile(path string) {
 	if err := pprof.WriteHeapProfile(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
+}
+
+// resolveScenario registers -scenario-file (if given) and picks the
+// dataset name: an explicit -dataset wins, otherwise the loaded file's
+// [scenario] name is used.
+func resolveScenario(name, file string) (string, error) {
+	if file == "" {
+		return name, nil
+	}
+	sc, err := scenario.RegisterFile(file)
+	if err != nil {
+		return "", err
+	}
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dataset" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return name, nil
+	}
+	return sc.Name, nil
 }
 
 func canonical(name string) string {

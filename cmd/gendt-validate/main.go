@@ -8,7 +8,8 @@
 // Usage:
 //
 //	gendt-validate -model model.json -golden validate/golden/gate-a.json
-//	               [-dataset A|B] [-scale F] [-seed N] [-routes N]
+//	               [-dataset NAME] [-scenario-file F.toml]
+//	               [-scale F] [-seed N] [-routes N]
 //	               [-samples N] [-max-route-len N] [-workers N]
 //	               [-precision f64|f32|int8]
 //	               [-update-golden] [-corrupt SIGMA] [-corrupt-out PATH]
@@ -35,12 +36,14 @@ import (
 
 	"gendt/internal/core"
 	"gendt/internal/dataset"
+	"gendt/internal/scenario"
 	"gendt/internal/validate"
 )
 
 func main() {
 	model := flag.String("model", "", "trained model or training checkpoint to validate (required)")
-	which := flag.String("dataset", "A", "dataset: A or B")
+	which := flag.String("dataset", "A", "registered scenario name (A, B, NR5G, Tunnel, Suburb, ...)")
+	scenarioFile := flag.String("scenario-file", "", "load a scenario config file; it is registered under its [scenario] name and becomes the default -dataset")
 	scale := flag.Float64("scale", 0.05, "dataset scale (must match training)")
 	seed := flag.Int64("seed", 1, "validation seed (drives every generation in the suite)")
 	routes := flag.Int("routes", 4, "held-out routes for the distributional pass")
@@ -92,7 +95,12 @@ func main() {
 		return
 	}
 
-	ds, err := dataset.NewByName(strings.ToUpper(*which), dataset.Spec{Seed: *seed, Scale: *scale})
+	dsName, err := resolveScenario(*which, *scenarioFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-validate:", err)
+		os.Exit(2)
+	}
+	ds, err := dataset.NewByName(dsName, dataset.Spec{Seed: *seed, Scale: *scale})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gendt-validate:", err)
 		os.Exit(2)
@@ -159,4 +167,27 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("gendt-validate: all %d checks passed\n", len(rep.Checks))
+}
+
+// resolveScenario registers -scenario-file (if given) and picks the
+// dataset name: an explicit -dataset wins, otherwise the loaded file's
+// [scenario] name is used.
+func resolveScenario(name, file string) (string, error) {
+	if file == "" {
+		return name, nil
+	}
+	sc, err := scenario.RegisterFile(file)
+	if err != nil {
+		return "", err
+	}
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "dataset" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return name, nil
+	}
+	return sc.Name, nil
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	gendt-whatif [-dataset A|B] [-scale F] [-seed N] [-epochs N]
+//	gendt-whatif [-dataset NAME] [-scale F] [-seed N] [-epochs N]
 //	             [-sectors N] [-pmax DBM] [-run N]
 package main
 
@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"strings"
 
 	"gendt/internal/core"
 	"gendt/internal/dataset"
@@ -23,7 +22,7 @@ import (
 )
 
 func main() {
-	which := flag.String("dataset", "A", "dataset: A or B")
+	which := flag.String("dataset", "A", "registered scenario name (A, B, NR5G, Tunnel, Suburb, ...)")
 	scale := flag.Float64("scale", 0.04, "dataset scale")
 	seed := flag.Int64("seed", 3, "random seed")
 	epochs := flag.Int("epochs", 12, "training epochs")
@@ -32,15 +31,9 @@ func main() {
 	runIdx := flag.Int("run", 0, "index into the test runs")
 	flag.Parse()
 
-	spec := dataset.Spec{Seed: *seed, Scale: *scale}
-	var d *dataset.Dataset
-	switch strings.ToUpper(*which) {
-	case "A":
-		d = dataset.NewDatasetA(spec)
-	case "B":
-		d = dataset.NewDatasetB(spec)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *which)
+	d, err := dataset.NewByName(*which, dataset.Spec{Seed: *seed, Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gendt-whatif:", err)
 		os.Exit(2)
 	}
 	chans := []core.ChannelSpec{core.KPIChannel(0)}

@@ -26,6 +26,13 @@ type Cell struct {
 	BeamWidth float64   // sector width in degrees (< 180 per the paper's Figure 3 note)
 	Height    float64   // antenna height above ground, metres
 
+	// PeakGainDBi and FrontToBackDB parameterize the sector antenna
+	// pattern. The zero values keep the classic LTE macro pattern (15 dBi
+	// peak, 28 dB front-to-back limit); narrow-beam high-gain values model
+	// 5G-NR beam-like sectors. See SectorGainDB.
+	PeakGainDBi   float64
+	FrontToBackDB float64
+
 	// Reported is the crowdsourced estimate of the site location as a
 	// CellMapper-style database would report it — the position models see
 	// as context. The zero value means "same as Site".
@@ -167,6 +174,13 @@ type DeploymentSpec struct {
 	// Zero means the database is exact.
 	ReportErrM  float64
 	ReportErrDB float64
+
+	// BeamWidth, PeakGainDBi, and FrontToBackDB override the sector
+	// antenna pattern of every generated cell; zero keeps the defaults
+	// (120 degrees, 15 dBi, 28 dB).
+	BeamWidth     float64
+	PeakGainDBi   float64
+	FrontToBackDB float64
 }
 
 // Generate synthesizes a sectorized deployment: sites on a jittered grid,
@@ -182,6 +196,9 @@ func Generate(spec DeploymentSpec, rng *rand.Rand) []Cell {
 	}
 	if spec.Height == 0 {
 		spec.Height = 25
+	}
+	if spec.BeamWidth == 0 {
+		spec.BeamWidth = 120
 	}
 	areaKm2 := spec.ExtentKm * spec.ExtentKm
 	nSites := int(math.Round(spec.SitesPerKm2 * areaKm2))
@@ -209,13 +226,15 @@ func Generate(spec DeploymentSpec, rng *rand.Rand) []Cell {
 			for s := 0; s < spec.Sectors; s++ {
 				pmax := spec.PMaxDBm + spec.PMaxJitter*rng.NormFloat64()
 				c := Cell{
-					ID:        id,
-					Site:      site,
-					PMaxDBm:   pmax,
-					Azimuth:   math.Mod(base+float64(s)*360/float64(spec.Sectors), 360),
-					BeamWidth: 120,
-					Height:    spec.Height,
-					Reported:  reported,
+					ID:            id,
+					Site:          site,
+					PMaxDBm:       pmax,
+					Azimuth:       math.Mod(base+float64(s)*360/float64(spec.Sectors), 360),
+					BeamWidth:     spec.BeamWidth,
+					Height:        spec.Height,
+					Reported:      reported,
+					PeakGainDBi:   spec.PeakGainDBi,
+					FrontToBackDB: spec.FrontToBackDB,
 				}
 				if spec.ReportErrDB > 0 {
 					c.ReportedPMaxDBm = pmax + spec.ReportErrDB*rng.NormFloat64()
@@ -272,9 +291,16 @@ func SectorGainDB(c *Cell, loc geo.Point) float64 {
 	diff := math.Mod(brg-c.Azimuth+540, 360) - 180 // [-180, 180)
 	theta3db := c.BeamWidth / 2
 	att := 12 * (diff / theta3db) * (diff / theta3db)
-	if att > 28 {
-		att = 28 // 3GPP-style front-to-back limit A_m
+	maxAtt := c.FrontToBackDB
+	if maxAtt == 0 {
+		maxAtt = 28 // 3GPP-style front-to-back limit A_m
 	}
-	const peakGain = 15 // dBi
+	if att > maxAtt {
+		att = maxAtt
+	}
+	peakGain := c.PeakGainDBi
+	if peakGain == 0 {
+		peakGain = 15 // dBi, classic LTE macro sector
+	}
 	return peakGain - att
 }

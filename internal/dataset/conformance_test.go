@@ -1,0 +1,193 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"gendt/internal/env"
+	"gendt/internal/geo"
+	"gendt/internal/radio"
+	"gendt/internal/scenario"
+)
+
+// conformanceScale keeps every conformance build cheap while leaving
+// enough route length for the geometry checks to bite. It is small enough
+// that even the longest-reaching scenario (Highway 1's train runs) cannot
+// stray into its test region.
+const conformanceScale = 0.005
+
+// TestScenarioConformance is the table-driven lockdown over *every*
+// registered scenario — builtins and any future additions alike. For each
+// scenario it checks:
+//
+//   - sample counts: every run's trajectory and measurement series match
+//     the duration/interval contract (within ±1 sample);
+//   - value ranges: every KPI lies inside its physical bounds, serving
+//     cells are real deployment cells (or -1 out of coverage), loads stay
+//     in the clamped band, and environment context is well-formed;
+//   - split disjointness: train and test routes never come near each
+//     other geographically;
+//   - seed determinism: the same seed reproduces the dataset bit for bit
+//     and a different seed does not.
+//
+// A new scenario config is covered automatically the moment it is
+// committed under scenarios/ — there is nothing to add here.
+func TestScenarioConformance(t *testing.T) {
+	names := scenario.Names()
+	if len(names) < 5 {
+		t.Fatalf("expected at least the 5 builtin scenarios, registry has %v", names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, ok := scenario.Lookup(name)
+			if !ok {
+				t.Fatalf("registry listed %q but Lookup failed", name)
+			}
+			spec := Spec{Seed: 11, Scale: conformanceScale}
+			d, err := FromScenario(sc, spec)
+			if err != nil {
+				t.Fatalf("FromScenario: %v", err)
+			}
+			checkSampleCounts(t, sc, d, spec)
+			checkValueRanges(t, d)
+			checkSplitDisjoint(t, d)
+			checkSeedDeterminism(t, sc, d, spec)
+		})
+	}
+}
+
+func checkSampleCounts(t *testing.T, sc *scenario.Scenario, d *Dataset, spec Spec) {
+	t.Helper()
+	ri := 0
+	for _, m := range sc.Measures {
+		perRun := m.DurationS * spec.Scale / float64(m.Runs)
+		want := int(perRun/m.IntervalS) + 1
+		for k := 0; k < m.Runs; k++ {
+			run := d.Runs[ri]
+			ri++
+			if run.Scenario != m.Name {
+				t.Fatalf("run %d: scenario %q, expected measure %q", ri-1, run.Scenario, m.Name)
+			}
+			if len(run.Traj) != len(run.Meas) {
+				t.Errorf("%s run %d: %d trajectory samples but %d measurements", m.Name, k, len(run.Traj), len(run.Meas))
+			}
+			if diff := len(run.Meas) - want; diff < -1 || diff > 1 {
+				t.Errorf("%s run %d: %d samples, want %d±1 (duration %.1f s at %.2g s)",
+					m.Name, k, len(run.Meas), want, perRun, m.IntervalS)
+			}
+			// The measurement clock must advance by the configured interval.
+			if len(run.Meas) > 1 {
+				dt := run.Meas[1].T - run.Meas[0].T
+				if math.Abs(dt-m.IntervalS) > 1e-9 {
+					t.Errorf("%s run %d: sample spacing %.4f s, want %.4f s", m.Name, k, dt, m.IntervalS)
+				}
+			}
+		}
+	}
+	if ri != len(d.Runs) {
+		t.Errorf("measures account for %d runs, dataset has %d", ri, len(d.Runs))
+	}
+}
+
+func checkValueRanges(t *testing.T, d *Dataset) {
+	t.Helper()
+	ids := map[int]bool{}
+	for _, c := range d.World.Deployment.Cells {
+		ids[c.ID] = true
+	}
+	for i, r := range d.Runs {
+		for j := range r.Meas {
+			m := &r.Meas[j]
+			for _, v := range []struct {
+				name   string
+				val    float64
+				lo, hi float64
+			}{
+				{"RSRP", m.RSRP, radio.RSRPMin, radio.RSRPMax},
+				{"RSRQ", m.RSRQ, radio.RSRQMin, radio.RSRQMax},
+				{"SINR", m.SINR, radio.SINRMin, radio.SINRMax},
+				{"CQI", m.CQI, radio.CQIMin, radio.CQIMax},
+			} {
+				if math.IsNaN(v.val) || v.val < v.lo || v.val > v.hi {
+					t.Fatalf("run %d sample %d: %s = %v outside [%v, %v]", i, j, v.name, v.val, v.lo, v.hi)
+				}
+			}
+			if m.ServingCell != -1 && !ids[m.ServingCell] {
+				t.Fatalf("run %d sample %d: serving cell %d not in deployment", i, j, m.ServingCell)
+			}
+			if len(m.VisibleLoad) != len(m.Visible) {
+				t.Fatalf("run %d sample %d: %d loads for %d visible cells", i, j, len(m.VisibleLoad), len(m.Visible))
+			}
+			for _, l := range m.VisibleLoad {
+				if l < 0.05 || l > 0.95 {
+					t.Fatalf("run %d sample %d: load %v outside clamp band [0.05, 0.95]", i, j, l)
+				}
+			}
+			if len(m.EnvCtx) != env.NumAttributes {
+				t.Fatalf("run %d sample %d: context dim %d, want %d", i, j, len(m.EnvCtx), env.NumAttributes)
+			}
+			for a := 0; a < env.NumLandUse; a++ {
+				if m.EnvCtx[a] < 0 || m.EnvCtx[a] > 1 {
+					t.Fatalf("run %d sample %d: land-use share %d = %v outside [0, 1]", i, j, a, m.EnvCtx[a])
+				}
+			}
+			for a := env.NumLandUse; a < env.NumAttributes; a++ {
+				if m.EnvCtx[a] < 0 {
+					t.Fatalf("run %d sample %d: negative PoI count %d = %v", i, j, a, m.EnvCtx[a])
+				}
+			}
+		}
+	}
+}
+
+// checkSplitDisjoint verifies the geographic train/test separation the
+// paper's evaluation protocol depends on: no train sample within 100 m of
+// any test sample of the same measurement scenario.
+func checkSplitDisjoint(t *testing.T, d *Dataset) {
+	t.Helper()
+	const minSeparationM = 100.0
+	for _, name := range d.Scenarios() {
+		var train, test geo.Trajectory
+		for _, r := range d.ScenarioRuns(name) {
+			if r.Train {
+				train = append(train, r.Traj...)
+			} else {
+				test = append(test, r.Traj...)
+			}
+		}
+		if len(train) == 0 || len(test) == 0 {
+			t.Errorf("%s: missing a split (train %d, test %d samples)", name, len(train), len(test))
+			continue
+		}
+		closest := math.Inf(1)
+		for _, a := range train {
+			for _, b := range test {
+				if d := geo.Distance(a.Point, b.Point); d < closest {
+					closest = d
+				}
+			}
+		}
+		if closest < minSeparationM {
+			t.Errorf("%s: train and test routes approach to %.1f m (< %.0f m)", name, closest, minSeparationM)
+		}
+	}
+}
+
+func checkSeedDeterminism(t *testing.T, sc *scenario.Scenario, d *Dataset, spec Spec) {
+	t.Helper()
+	again, err := FromScenario(sc, spec)
+	if err != nil {
+		t.Fatalf("FromScenario (rebuild): %v", err)
+	}
+	if d.Fingerprint() != again.Fingerprint() {
+		t.Errorf("same seed produced different datasets: %#x vs %#x", d.Fingerprint(), again.Fingerprint())
+	}
+	other, err := FromScenario(sc, Spec{Seed: spec.Seed + 1, Scale: spec.Scale})
+	if err != nil {
+		t.Fatalf("FromScenario (reseed): %v", err)
+	}
+	if d.Fingerprint() == other.Fingerprint() {
+		t.Errorf("different seeds produced identical datasets (%#x)", d.Fingerprint())
+	}
+}

@@ -12,12 +12,14 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"gendt/internal/cells"
 	"gendt/internal/env"
 	"gendt/internal/geo"
 	"gendt/internal/metrics"
 	"gendt/internal/radio"
+	"gendt/internal/scenario"
 	"gendt/internal/sim"
 )
 
@@ -107,18 +109,19 @@ func (d *Dataset) Scenarios() []string {
 	return out
 }
 
-// NewByName builds dataset "A" or "B" (case-insensitive) — the shared
-// world handle long-lived services construct once and hold resident, so
-// route annotation does not rebuild the deployment and environment map per
-// request.
+// NewByName builds a dataset by scenario name (case-insensitive) — the
+// shared world handle long-lived services construct once and hold
+// resident, so route annotation does not rebuild the deployment and
+// environment map per request. Names resolve against the scenario
+// registry: the committed configs under scenarios/ ("A", "B", "NR5G",
+// "Tunnel", "Suburb", ...) plus anything registered at runtime via
+// scenario.RegisterFile (the CLIs' -scenario-file flag).
 func NewByName(name string, spec Spec) (*Dataset, error) {
-	switch name {
-	case "A", "a":
-		return NewDatasetA(spec), nil
-	case "B", "b":
-		return NewDatasetB(spec), nil
+	if sc, ok := scenario.Lookup(name); ok {
+		return FromScenario(sc, spec)
 	}
-	return nil, fmt.Errorf("dataset: unknown dataset %q (want A or B)", name)
+	return nil, fmt.Errorf("dataset: unknown dataset %q (registered scenarios: %s)",
+		name, strings.Join(scenario.Names(), ", "))
 }
 
 // originA anchors Dataset A (a UK-like city centre).

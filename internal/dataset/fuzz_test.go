@@ -3,19 +3,23 @@ package dataset
 import (
 	"strings"
 	"testing"
+
+	"gendt/internal/scenario"
 )
 
 // FuzzNewByName hammers the dataset-by-name entry point with arbitrary
-// names: it must never panic, must accept exactly the documented names,
-// and must return a descriptive error for everything else. Scale is kept
-// tiny so the accepted paths stay cheap.
+// names: it must never panic, must accept exactly the registered scenario
+// names (case-insensitively), and must return a descriptive error listing
+// the registry for everything else. Scale is kept tiny so the accepted
+// paths stay cheap.
 func FuzzNewByName(f *testing.F) {
-	for _, s := range []string{"A", "a", "B", "b", "", "C", "AB", "A ", " b", "aa", "\x00", "ä"} {
+	for _, s := range []string{"A", "a", "B", "b", "NR5G", "nr5g", "Tunnel", "Suburb",
+		"", "C", "AB", "A ", " b", "aa", "\x00", "ä"} {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, name string) {
 		d, err := NewByName(name, Spec{Seed: 1, Scale: 0.002})
-		valid := name == "A" || name == "a" || name == "B" || name == "b"
+		sc, valid := scenario.Lookup(name)
 		if valid {
 			if err != nil {
 				t.Fatalf("NewByName(%q): unexpected error %v", name, err)
@@ -23,8 +27,8 @@ func FuzzNewByName(f *testing.F) {
 			if d == nil || d.World == nil || len(d.Runs) == 0 {
 				t.Fatalf("NewByName(%q): incomplete dataset %+v", name, d)
 			}
-			if got := strings.ToUpper(name); d.Name != got {
-				t.Fatalf("NewByName(%q): Name = %q, want %q", name, d.Name, got)
+			if d.Name != sc.Name {
+				t.Fatalf("NewByName(%q): Name = %q, want canonical %q", name, d.Name, sc.Name)
 			}
 		} else {
 			if err == nil {
@@ -36,6 +40,40 @@ func FuzzNewByName(f *testing.F) {
 			if !strings.Contains(err.Error(), "unknown dataset") {
 				t.Fatalf("NewByName(%q): undescriptive error %q", name, err)
 			}
+			for _, reg := range scenario.Names() {
+				if !strings.Contains(err.Error(), reg) {
+					t.Fatalf("NewByName(%q): error %q does not list registered scenario %q", name, err, reg)
+				}
+			}
 		}
 	})
+}
+
+// TestNewByNameErrorListsScenarios pins the error message contract: the
+// unknown-name error enumerates every registered scenario, sorted, so a
+// user who typos a name sees what is available.
+func TestNewByNameErrorListsScenarios(t *testing.T) {
+	_, err := NewByName("no-such-scenario", Spec{Seed: 1, Scale: 0.01})
+	if err == nil {
+		t.Fatal("expected error for unknown scenario name")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown dataset "no-such-scenario"`) {
+		t.Errorf("error does not name the bad input: %q", msg)
+	}
+	names := scenario.Names()
+	for _, want := range []string{"A", "B", "NR5G", "Suburb", "Tunnel"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin scenario %q not registered (have %v)", want, names)
+		}
+	}
+	if !strings.Contains(msg, "registered scenarios: "+strings.Join(names, ", ")) {
+		t.Errorf("error does not list the sorted registry %v: %q", names, msg)
+	}
 }

@@ -1,0 +1,86 @@
+package dataset
+
+import (
+	"os"
+	"testing"
+
+	"gendt/internal/scenario"
+)
+
+// Committed fingerprints of the historical constructors at Seed=42,
+// Scale=0.05. If these change, dataset synthesis is no longer reproducing
+// the bytes every committed golden and trained model was built against.
+const (
+	goldenFingerprintA = 0x7d285f8fc7615375
+	goldenFingerprintB = 0x3785e9e56fd8c985
+)
+
+// TestScenarioGoldenBitIdentity proves the DSL-compiled datasets are
+// byte-identical to the historical hard-coded constructors: same cells,
+// same trajectories, same measurements, bit for bit. This is the lockdown
+// that lets NewByName route everything through scenario configs without a
+// regression risk.
+func TestScenarioGoldenBitIdentity(t *testing.T) {
+	spec := Spec{Seed: 42, Scale: 0.05}
+	cases := []struct {
+		name   string
+		legacy func(Spec) *Dataset
+		want   uint64
+	}{
+		{"A", NewDatasetA, goldenFingerprintA},
+		{"B", NewDatasetB, goldenFingerprintB},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			legacy := tc.legacy(spec)
+			lfp := legacy.Fingerprint()
+			if lfp != tc.want {
+				t.Errorf("legacy constructor fingerprint = %#x, committed golden %#x", lfp, tc.want)
+			}
+			sc, ok := scenario.Lookup(tc.name)
+			if !ok {
+				t.Fatalf("scenario %q not registered", tc.name)
+			}
+			built, err := FromScenario(sc, spec)
+			if err != nil {
+				t.Fatalf("FromScenario(%q): %v", tc.name, err)
+			}
+			bfp := built.Fingerprint()
+			if bfp != lfp {
+				t.Errorf("DSL-compiled fingerprint = %#x, legacy constructor = %#x", bfp, lfp)
+			}
+			if len(built.Runs) != len(legacy.Runs) {
+				t.Fatalf("run count: DSL %d, legacy %d", len(built.Runs), len(legacy.Runs))
+			}
+			for i := range built.Runs {
+				if built.Runs[i].Scenario != legacy.Runs[i].Scenario || built.Runs[i].Train != legacy.Runs[i].Train {
+					t.Errorf("run %d: DSL (%q train=%v), legacy (%q train=%v)", i,
+						built.Runs[i].Scenario, built.Runs[i].Train,
+						legacy.Runs[i].Scenario, legacy.Runs[i].Train)
+				}
+			}
+		})
+	}
+}
+
+// TestScenarioGoldenBitIdentityFullScale repeats the identity check at
+// Scale=1.0 — the paper-sized datasets. Building both copies of A and B at
+// full scale takes minutes, so the test only runs when asked:
+// GENDT_FULL_SCALE_GOLDEN=1 go test ./internal/dataset -run FullScale
+func TestScenarioGoldenBitIdentityFullScale(t *testing.T) {
+	if os.Getenv("GENDT_FULL_SCALE_GOLDEN") == "" {
+		t.Skip("set GENDT_FULL_SCALE_GOLDEN=1 to run the full-scale identity check")
+	}
+	spec := Spec{Seed: 42, Scale: 1.0}
+	for _, name := range []string{"A", "B"} {
+		legacy := map[string]func(Spec) *Dataset{"A": NewDatasetA, "B": NewDatasetB}[name](spec)
+		sc, _ := scenario.Lookup(name)
+		built, err := FromScenario(sc, spec)
+		if err != nil {
+			t.Fatalf("FromScenario(%q): %v", name, err)
+		}
+		if got, want := built.Fingerprint(), legacy.Fingerprint(); got != want {
+			t.Errorf("%s: full-scale DSL fingerprint %#x != legacy %#x", name, got, want)
+		}
+	}
+}

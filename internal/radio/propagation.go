@@ -50,6 +50,28 @@ func DefaultPathloss() *PathlossModel {
 	}
 }
 
+// NewPathloss builds a pathloss model from explicit parameters — the
+// constructor scenario configs compile through. byClass maps land-use
+// classes to exponents; classes absent from it fall back to defaultExp.
+// A nil byClass keeps DefaultPathloss's per-class table so configs can
+// override just the reference loss or the default exponent.
+func NewPathloss(refLossDB, refDistM, defaultExp float64, byClass map[uint8]float64) *PathlossModel {
+	m := DefaultPathloss()
+	if refLossDB != 0 {
+		m.RefLossDB = refLossDB
+	}
+	if refDistM > 0 {
+		m.RefDist = refDistM
+	}
+	if defaultExp > 0 {
+		m.DefaultExp = defaultExp
+	}
+	if byClass != nil {
+		m.Exponents = byClass
+	}
+	return m
+}
+
 // LossDB returns the pathloss in dB over distance metres in the given
 // land-use clutter class.
 func (m *PathlossModel) LossDB(distance float64, clutter uint8) float64 {

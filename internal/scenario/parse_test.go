@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"errors"
+	"io/fs"
+	"reflect"
+	"strings"
+	"testing"
+
+	"gendt/scenarios"
+)
+
+// namedErrors is the closed set every Parse/Bind failure must classify
+// into via errors.Is.
+var namedErrors = []error{
+	ErrSyntax, ErrNonFinite, ErrUnknownKey, ErrUnknownSection,
+	ErrBadValue, ErrOutOfRange, ErrMissing,
+}
+
+func isNamed(err error) bool {
+	for _, n := range namedErrors {
+		if errors.Is(err, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzScenarioParse feeds arbitrary text through the whole DSL front end:
+// Parse must never panic and must reject bad input with a named error;
+// accepted input must survive the parse -> Format -> parse round trip
+// exactly; and Bind over the resulting Doc must likewise never panic and
+// must fail only with named errors.
+func FuzzScenarioParse(f *testing.F) {
+	// Seed with the committed scenario files plus targeted edge cases.
+	entries, _ := fs.Glob(scenarios.FS, "*.toml")
+	for _, name := range entries {
+		data, err := fs.ReadFile(scenarios.FS, name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	for _, s := range []string{
+		"", "[scenario]\nname = \"x\"", "[world]", "[[measure]]",
+		"[scenario]\nseed_offset = 1.5", "x = 1", "[bogus]", "[[scenario]]",
+		"[world]\nvisible_range_m = nan", "[world]\nvisible_range_m = +Inf",
+		"[pathloss]\nexp_sea = -1", "[env]\nextent_km = 1e309",
+		"[scenario]\nname = \"a\nb\"", "[scenario]\nname = \"a#b\" # trailing",
+		"[scenario]\nname = true\nname = false", "[scenario", "[[measure]",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		doc, err := Parse(text)
+		if err != nil {
+			if !isNamed(err) {
+				t.Fatalf("Parse error not in the named set: %v", err)
+			}
+			return
+		}
+		canon := doc.Format()
+		doc2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form failed to reparse: %v\n%s", err, canon)
+		}
+		if !reflect.DeepEqual(doc, doc2) {
+			t.Fatalf("parse -> Format -> parse not the identity\noriginal: %#v\nreparsed: %#v", doc, doc2)
+		}
+		if again := doc2.Format(); again != canon {
+			t.Fatalf("Format is not a fixed point:\n%q\nvs\n%q", canon, again)
+		}
+		if _, err := Bind(doc); err != nil && !isNamed(err) {
+			t.Fatalf("Bind error not in the named set: %v", err)
+		}
+	})
+}
+
+// TestParseRejectsNonFinite pins the named-error contract for the values
+// the DSL must never accept anywhere: NaN and infinities.
+func TestParseRejectsNonFinite(t *testing.T) {
+	for _, v := range []string{"nan", "NaN", "inf", "+inf", "-Inf", "1e999"} {
+		_, err := Parse("[world]\nvisible_range_m = " + v + "\n")
+		if !errors.Is(err, ErrNonFinite) {
+			t.Errorf("value %q: got %v, want ErrNonFinite", v, err)
+		}
+	}
+}
+
+// TestBindRejectsBadValues spot-checks the schema guard rails, each with
+// its named error.
+func TestBindRejectsBadValues(t *testing.T) {
+	base := func(extra string) string {
+		return `[scenario]
+name = "t"
+[env]
+extent_km = 2
+[[layout]]
+kind = "grid"
+extent_km = 1
+sites_per_km2 = 1
+[[measure]]
+name = "m"
+profile = "walk"
+duration_s = 10
+placement = "arc"
+` + extra
+	}
+	cases := []struct {
+		name string
+		text string
+		want error
+	}{
+		{"negative exponent", base("[pathloss]\nexp_continuous_urban = -2\n"), ErrOutOfRange},
+		{"zero exponent", base("[pathloss]\nexp_sea = 0\n"), ErrOutOfRange},
+		{"unknown key", base("[world]\nwarp_factor = 9\n"), ErrUnknownKey},
+		{"non-integer seed", base("[world]\ntime_to_trigger = 2.5\n"), ErrBadValue},
+		{"bad load alpha", base("[world]\nload_alpha = 1\n"), ErrOutOfRange},
+		{"missing scenario section", "[env]\nextent_km = 2\n", ErrMissing},
+		{"unknown profile", strings.Replace(base(""), `profile = "walk"`, `profile = "teleport"`, 1), ErrBadValue},
+		{"odd run count", strings.Replace(base(""), `duration_s = 10`, "duration_s = 10\nruns = 5", 1), ErrOutOfRange},
+		{"dangling center ref", strings.Replace(base(""), `placement = "arc"`, "placement = \"arc\"\ncenter = 3", 1), ErrOutOfRange},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(tc.text)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+	if _, err := Load(base("")); err != nil {
+		t.Errorf("minimal valid config rejected: %v", err)
+	}
+}
+
+// TestBuiltinRoundTrip proves every committed scenario file survives the
+// canonicalization round trip at the Doc level and binds cleanly.
+func TestBuiltinRoundTrip(t *testing.T) {
+	entries, err := fs.Glob(scenarios.FS, "*.toml")
+	if err != nil || len(entries) < 5 {
+		t.Fatalf("expected >= 5 committed scenario files, got %v (err %v)", entries, err)
+	}
+	for _, name := range entries {
+		t.Run(name, func(t *testing.T) {
+			data, err := fs.ReadFile(scenarios.FS, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			doc, err := Parse(string(data))
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			doc2, err := Parse(doc.Format())
+			if err != nil {
+				t.Fatalf("reparse of canonical form: %v", err)
+			}
+			if !reflect.DeepEqual(doc, doc2) {
+				t.Fatal("canonicalization round trip altered the Doc")
+			}
+			if _, err := Bind(doc); err != nil {
+				t.Fatalf("Bind: %v", err)
+			}
+		})
+	}
+}

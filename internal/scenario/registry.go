@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+
+	"gendt/scenarios"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Scenario{} // lower-cased name -> scenario
+)
+
+// Register adds a scenario to the global registry. Names are matched
+// case-insensitively; registering a name twice is an error.
+func Register(sc *Scenario) error {
+	key := strings.ToLower(sc.Name)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := registry[key]; ok {
+		return fmt.Errorf("scenario: %q already registered (as %q)", sc.Name, prev.Name)
+	}
+	registry[key] = sc
+	return nil
+}
+
+// Replace registers a scenario, overwriting any previous registration of
+// the same name — the path -scenario-file flags use, so a user config may
+// deliberately shadow a builtin.
+func Replace(sc *Scenario) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[strings.ToLower(sc.Name)] = sc
+}
+
+// Lookup resolves a scenario by name, case-insensitively.
+func Lookup(name string) (*Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	sc, ok := registry[strings.ToLower(name)]
+	return sc, ok
+}
+
+// Names returns the canonical names of all registered scenarios, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for _, sc := range registry {
+		out = append(out, sc.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RegisterFile loads a scenario config from disk and registers it,
+// replacing any same-named scenario. It returns the loaded scenario so
+// callers can report the resolved name.
+func RegisterFile(path string) (*Scenario, error) {
+	sc, err := LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	Replace(sc)
+	return sc, nil
+}
+
+// The committed scenario files under scenarios/ are registered at package
+// load. A malformed committed file is a programming error caught by every
+// test run, so init panics rather than limping along with a partial
+// registry.
+func init() {
+	err := fs.WalkDir(scenarios.FS, ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".toml") {
+			return err
+		}
+		data, err := fs.ReadFile(scenarios.FS, path)
+		if err != nil {
+			return err
+		}
+		sc, err := Load(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		return Register(sc)
+	})
+	if err != nil {
+		panic("scenario: builtin registry: " + err.Error())
+	}
+}

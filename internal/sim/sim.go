@@ -91,6 +91,13 @@ type World struct {
 	ShadowDecorrM       float64
 	// FadingSigmaDB is the per-sample fast-fading spread.
 	FadingSigmaDB float64
+	// LoadMean / LoadAlpha / LoadStd parameterize the hidden per-cell
+	// traffic-load process (mean-reverting AR(1) in [0,1]) each drive test
+	// runs against. DefaultWorld sets the paper-flavoured values; scenario
+	// configs may override them to model busier or burstier networks.
+	LoadMean  float64
+	LoadAlpha float64
+	LoadStd   float64
 	// HysteresisDB / TimeToTrigger parameterize handover.
 	HysteresisDB  float64
 	TimeToTrigger int
@@ -116,6 +123,9 @@ func DefaultWorld(dep *cells.Deployment, em *env.Map) *World {
 		ShadowSigmaDB:       3,
 		ShadowDecorrM:       60,
 		FadingSigmaDB:       2.0,
+		LoadMean:            0.45,
+		LoadAlpha:           0.97,
+		LoadStd:             0.25,
 		HysteresisDB:        4,
 		TimeToTrigger:       3,
 		L3Alpha:             0.3,
@@ -128,7 +138,11 @@ func DefaultWorld(dep *cells.Deployment, em *env.Map) *World {
 func (w *World) DriveTest(tr geo.Trajectory, rng *rand.Rand) []Measurement {
 	shadow := radio.NewShadowField(w.ShadowSigmaDB, w.ShadowDecorrM, rng)
 	static := radio.NewStaticShadow(w.StaticShadowSigmaDB, w.StaticShadowCorrM, w.WorldSeed, w.Env.Origin())
-	load := radio.NewLoadProcess(0.45, 0.97, 0.25, rng)
+	loadMean, loadAlpha, loadStd := w.LoadMean, w.LoadAlpha, w.LoadStd
+	if loadAlpha == 0 { // zero-value World: fall back to the classic process
+		loadMean, loadAlpha, loadStd = 0.45, 0.97, 0.25
+	}
+	load := radio.NewLoadProcess(loadMean, loadAlpha, loadStd, rng)
 	sel := radio.NewServingSelector(w.HysteresisDB, w.TimeToTrigger)
 	alpha := w.L3Alpha
 	if alpha <= 0 || alpha > 1 {

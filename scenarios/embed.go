@@ -1,0 +1,14 @@
+// Package scenarios holds the committed scenario config files of the
+// declarative scenario DSL (see internal/scenario). Every *.toml here is
+// parsed, bound, and registered at startup by internal/scenario's init;
+// dataset.NewByName resolves names against that registry. The package
+// intentionally has no Go logic so internal/scenario can embed the files
+// without an import cycle.
+package scenarios
+
+import "embed"
+
+// FS exposes the committed scenario configs.
+//
+//go:embed *.toml
+var FS embed.FS
